@@ -1,0 +1,132 @@
+//! Earth-Mover distance via the tree embedding (Corollary 1(3)).
+//!
+//! For equal-size multisets `A`, `B` of leaves of a weighted tree, the
+//! optimal transport cost under the tree metric has a closed form: every
+//! edge `e` must carry the surplus of the subtree below it, so
+//! `EMD_T(A,B) = Σ_e w(e)·|#A(subtree) − #B(subtree)|`. Since the tree
+//! metric dominates the Euclidean metric in expectation up to the
+//! distortion, `EMD ≤ E[EMD_T] ≤ O(log^1.5 n)·EMD`.
+
+use treeemb_core::seq::Embedding;
+use treeemb_geom::metrics::dist;
+use treeemb_geom::PointSet;
+
+/// Tree EMD between two equal-size sets of point ids (leaves of the same
+/// embedding).
+///
+/// # Panics
+/// Panics when `a` and `b` differ in size or reference unknown points.
+pub fn tree_emd(emb: &Embedding, a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "EMD needs equal-size multisets");
+    let t = &emb.tree;
+    let n = t.num_points();
+    let mut weight_of = vec![0i64; n];
+    for &p in a {
+        assert!(p < n, "unknown point id {p}");
+        weight_of[p] += 1;
+    }
+    for &q in b {
+        assert!(q < n, "unknown point id {q}");
+        weight_of[q] -= 1;
+    }
+    let signed = t.subtree_signed_counts(|p| weight_of[p]);
+    let mut total = 0.0;
+    for id in t.node_ids() {
+        if t.parent(id).is_some() {
+            total += t.node(id).weight_to_parent * signed[id].unsigned_abs() as f64;
+        }
+    }
+    total
+}
+
+/// Exact Euclidean EMD between two equal-size multisets given as point
+/// ids into `ps`, via Hungarian matching (`O(n³)`).
+pub fn exact_emd(ps: &PointSet, a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len(), "EMD needs equal-size multisets");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let cost: Vec<Vec<f64>> = a
+        .iter()
+        .map(|&i| b.iter().map(|&j| dist(ps.point(i), ps.point(j))).collect())
+        .collect();
+    crate::exact::matching::min_cost_matching(&cost).1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treeemb_core::params::HybridParams;
+    use treeemb_core::seq::SeqEmbedder;
+    use treeemb_geom::generators;
+
+    fn embed(ps: &PointSet, seed: u64) -> Embedding {
+        let params = HybridParams::for_dataset(ps, 4).unwrap();
+        SeqEmbedder::new(params).embed(ps, seed).unwrap()
+    }
+
+    #[test]
+    fn identical_multisets_cost_zero() {
+        let ps = generators::uniform_cube(20, 8, 256, 1);
+        let emb = embed(&ps, 1);
+        let ids: Vec<usize> = (0..10).collect();
+        assert_eq!(tree_emd(&emb, &ids, &ids), 0.0);
+        assert_eq!(exact_emd(&ps, &ids, &ids), 0.0);
+    }
+
+    #[test]
+    fn tree_emd_dominates_exact() {
+        let ps = generators::uniform_cube(30, 8, 512, 3);
+        let emb = embed(&ps, 2);
+        let a: Vec<usize> = (0..15).collect();
+        let b: Vec<usize> = (15..30).collect();
+        let te = tree_emd(&emb, &a, &b);
+        let ee = exact_emd(&ps, &a, &b);
+        assert!(te >= ee * (1.0 - 1e-9), "tree {te} < exact {ee}");
+    }
+
+    #[test]
+    fn approximation_ratio_within_theory_bound() {
+        // The guarantee is in expectation over trees: average EMD_T over
+        // seeds, compare against exact. Theorem 2's factor here is
+        // O(sqrt(d*r)·logΔ) = sqrt(32)·9 ~ 51; allow that order.
+        let ps = generators::gaussian_clusters(40, 8, 4, 2.0, 512, 5);
+        let a: Vec<usize> = (0..20).collect();
+        let b: Vec<usize> = (20..40).collect();
+        let exact = exact_emd(&ps, &a, &b).max(1e-9);
+        let trials = 8;
+        let mean_tree: f64 = (0..trials)
+            .map(|s| tree_emd(&embed(&ps, s), &a, &b))
+            .sum::<f64>()
+            / trials as f64;
+        let ratio = mean_tree / exact;
+        assert!(ratio >= 1.0 - 1e-9, "tree EMD must dominate");
+        assert!(ratio < 60.0, "mean EMD ratio {ratio} beyond theory bound");
+    }
+
+    #[test]
+    fn single_pair_equals_tree_distance() {
+        let ps = generators::uniform_cube(10, 8, 256, 7);
+        let emb = embed(&ps, 6);
+        let te = tree_emd(&emb, &[0], &[1]);
+        assert!((te - emb.tree_distance(0, 1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiset_multiplicity_counts() {
+        // Moving two units from p0 costs twice one unit.
+        let ps = generators::uniform_cube(10, 8, 256, 9);
+        let emb = embed(&ps, 8);
+        let one = tree_emd(&emb, &[0], &[1]);
+        let two = tree_emd(&emb, &[0, 0], &[1, 1]);
+        assert!((two - 2.0 * one).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-size")]
+    fn unequal_sizes_panic() {
+        let ps = generators::uniform_cube(5, 8, 64, 2);
+        let emb = embed(&ps, 1);
+        let _ = tree_emd(&emb, &[0], &[1, 2]);
+    }
+}

@@ -1,0 +1,85 @@
+//! Brute-force densest-ball baselines.
+//!
+//! Exact densest ball (best center anywhere in `R^d`) is not efficiently
+//! computable; the standard sandwich uses point-centered balls:
+//! a ball of diameter `D` containing `S` lies inside the radius-`D` ball
+//! around any point of `S`, so
+//! `max_p |B(p, D/2)| ≤ OPT(D) ≤ max_p |B(p, D)|`.
+
+use treeemb_geom::metrics::sq_dist;
+use treeemb_geom::PointSet;
+
+/// Result of a point-centered ball scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BallCount {
+    /// Center point id.
+    pub center: usize,
+    /// Number of points within the radius (center included).
+    pub count: usize,
+}
+
+/// `max_p |B(p, radius)|` over all point-centered balls (`O(n²d)`).
+pub fn best_point_centered(ps: &PointSet, radius: f64) -> BallCount {
+    assert!(!ps.is_empty(), "empty point set");
+    let n = ps.len();
+    let r2 = radius * radius;
+    let mut best = BallCount {
+        center: 0,
+        count: 0,
+    };
+    for c in 0..n {
+        let mut count = 0;
+        for j in 0..n {
+            if sq_dist(ps.point(c), ps.point(j)) <= r2 + 1e-12 {
+                count += 1;
+            }
+        }
+        if count > best.count {
+            best = BallCount { center: c, count };
+        }
+    }
+    best
+}
+
+/// The sandwich `(lower, upper)` on `OPT(D)` for target diameter `D`:
+/// `lower = max_p |B(p, D/2)|`, `upper = max_p |B(p, D)|`.
+pub fn opt_bounds(ps: &PointSet, diameter: f64) -> (usize, usize) {
+    let lower = best_point_centered(ps, diameter / 2.0).count;
+    let upper = best_point_centered(ps, diameter).count;
+    (lower, upper)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_planted_cluster() {
+        let inst = treeemb_geom::generators::planted_ball(100, 4, 40, 10.0, 1 << 12, 7);
+        let (lower, upper) = opt_bounds(&inst.points, 10.0);
+        assert!(upper >= 40, "upper bound {upper} misses the plant");
+        assert!(lower >= 20, "lower bound {lower} too small");
+    }
+
+    #[test]
+    fn tiny_radius_counts_only_center() {
+        let ps = PointSet::from_rows(&[vec![0.0], vec![10.0], vec![20.0]]);
+        let best = best_point_centered(&ps, 0.5);
+        assert_eq!(best.count, 1);
+    }
+
+    #[test]
+    fn huge_radius_counts_everything() {
+        let ps = treeemb_geom::generators::uniform_cube(25, 3, 64, 1);
+        let best = best_point_centered(&ps, 1e6);
+        assert_eq!(best.count, 25);
+    }
+
+    #[test]
+    fn bounds_are_ordered() {
+        let ps = treeemb_geom::generators::uniform_cube(40, 3, 64, 2);
+        let (lo, hi) = opt_bounds(&ps, 20.0);
+        assert!(lo <= hi);
+        assert!(lo >= 1);
+    }
+}

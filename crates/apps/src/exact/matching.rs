@@ -1,0 +1,166 @@
+//! Exact min-cost perfect matching (Hungarian algorithm, `O(n³)`) —
+//! the exact Earth-Mover distance between equal-size unit-mass
+//! multisets.
+
+/// Solves the assignment problem on a square cost matrix: returns
+/// `(assignment, total_cost)` where `assignment[row] = column`.
+///
+/// Classic potentials-based Kuhn–Munkres in `O(n³)`.
+///
+/// # Panics
+/// Panics if the matrix is not square/non-empty or contains
+/// non-finite costs.
+pub fn min_cost_matching(cost: &[Vec<f64>]) -> (Vec<usize>, f64) {
+    let n = cost.len();
+    assert!(n > 0, "empty cost matrix");
+    for row in cost {
+        assert_eq!(row.len(), n, "cost matrix must be square");
+        assert!(row.iter().all(|c| c.is_finite()), "costs must be finite");
+    }
+    const INF: f64 = f64::INFINITY;
+    // 1-indexed arrays per the classic formulation.
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[col] = row matched to col (0 = none)
+    let mut way = vec![0usize; n + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if !used[j] {
+                    let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+    let mut assignment = vec![0usize; n];
+    let mut total = 0.0;
+    for j in 1..=n {
+        if p[j] > 0 {
+            assignment[p[j] - 1] = j - 1;
+            total += cost[p[j] - 1][j - 1];
+        }
+    }
+    (assignment, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_matrix_prefers_diagonal_of_zeros() {
+        let cost = vec![
+            vec![0.0, 5.0, 5.0],
+            vec![5.0, 0.0, 5.0],
+            vec![5.0, 5.0, 0.0],
+        ];
+        let (asg, total) = min_cost_matching(&cost);
+        assert_eq!(asg, vec![0, 1, 2]);
+        assert_eq!(total, 0.0);
+    }
+
+    #[test]
+    fn forced_off_diagonal() {
+        let cost = vec![vec![10.0, 1.0], vec![1.0, 10.0]];
+        let (asg, total) = min_cost_matching(&cost);
+        assert_eq!(asg, vec![1, 0]);
+        assert_eq!(total, 2.0);
+    }
+
+    #[test]
+    fn single_element() {
+        let (asg, total) = min_cost_matching(&[vec![7.5]]);
+        assert_eq!(asg, vec![0]);
+        assert_eq!(total, 7.5);
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_random_instances() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        for trial in 0..30 {
+            let n = rng.gen_range(2..6);
+            let cost: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..n).map(|_| rng.gen_range(0.0..10.0)).collect())
+                .collect();
+            let (_, hung) = min_cost_matching(&cost);
+            // Brute force over permutations.
+            let mut perm: Vec<usize> = (0..n).collect();
+            let mut best = f64::INFINITY;
+            permute(&mut perm, 0, &mut |p| {
+                let c: f64 = p.iter().enumerate().map(|(i, &j)| cost[i][j]).sum();
+                if c < best {
+                    best = c;
+                }
+            });
+            assert!(
+                (hung - best).abs() < 1e-9,
+                "trial {trial}: {hung} vs {best}"
+            );
+        }
+    }
+
+    fn permute(arr: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+        if k == arr.len() {
+            f(arr);
+            return;
+        }
+        for i in k..arr.len() {
+            arr.swap(k, i);
+            permute(arr, k + 1, f);
+            arr.swap(k, i);
+        }
+    }
+
+    #[test]
+    fn assignment_is_a_permutation() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 12;
+        let cost: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..n).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
+        let (asg, _) = min_cost_matching(&cost);
+        let mut seen = vec![false; n];
+        for &j in &asg {
+            assert!(!seen[j], "column used twice");
+            seen[j] = true;
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! Exact (non-embedding) baselines for the Corollary-1 applications.
+
+pub mod ball;
+pub mod matching;
+pub mod prim;

@@ -1,0 +1,163 @@
+//! Exact Euclidean minimum spanning tree (Prim's algorithm, `O(n²d)`).
+
+use treeemb_geom::metrics::sq_dist;
+use treeemb_geom::PointSet;
+
+/// A spanning tree over the points of a set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanningTree {
+    /// Tree edges as point-id pairs.
+    pub edges: Vec<(usize, usize)>,
+    /// Total Euclidean length.
+    pub cost: f64,
+}
+
+/// Computes the exact Euclidean MST with dense Prim.
+///
+/// # Panics
+/// Panics on an empty point set.
+pub fn mst(ps: &PointSet) -> SpanningTree {
+    let n = ps.len();
+    assert!(n >= 1, "MST of an empty set");
+    if n == 1 {
+        return SpanningTree {
+            edges: Vec::new(),
+            cost: 0.0,
+        };
+    }
+    let mut in_tree = vec![false; n];
+    let mut best_sq = vec![f64::INFINITY; n];
+    let mut best_from = vec![0usize; n];
+    let mut edges = Vec::with_capacity(n - 1);
+    let mut cost = 0.0;
+    in_tree[0] = true;
+    for (j, b) in best_sq.iter_mut().enumerate().skip(1) {
+        *b = sq_dist(ps.point(0), ps.point(j));
+    }
+    #[allow(clippy::needless_range_loop)] // j indexes three parallel arrays
+    for _ in 1..n {
+        // Cheapest frontier vertex.
+        let mut pick = usize::MAX;
+        let mut pick_sq = f64::INFINITY;
+        for j in 0..n {
+            if !in_tree[j] && best_sq[j] < pick_sq {
+                pick = j;
+                pick_sq = best_sq[j];
+            }
+        }
+        debug_assert_ne!(pick, usize::MAX);
+        in_tree[pick] = true;
+        edges.push((best_from[pick], pick));
+        cost += pick_sq.sqrt();
+        for j in 0..n {
+            if !in_tree[j] {
+                let d = sq_dist(ps.point(pick), ps.point(j));
+                if d < best_sq[j] {
+                    best_sq[j] = d;
+                    best_from[j] = pick;
+                }
+            }
+        }
+    }
+    SpanningTree { edges, cost }
+}
+
+/// Total Euclidean length of an arbitrary edge list over `ps`.
+pub fn edges_cost(ps: &PointSet, edges: &[(usize, usize)]) -> f64 {
+    edges
+        .iter()
+        .map(|&(a, b)| treeemb_geom::metrics::dist(ps.point(a), ps.point(b)))
+        .sum()
+}
+
+/// Checks that `edges` form a spanning tree over `n` vertices
+/// (n−1 edges, connected).
+#[allow(clippy::ptr_arg)]
+pub fn is_spanning_tree(n: usize, edges: &[(usize, usize)]) -> bool {
+    if n == 0 {
+        return false;
+    }
+    if edges.len() != n - 1 {
+        return false;
+    }
+    // Union-find.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut components = n;
+    for &(a, b) in edges {
+        if a >= n || b >= n {
+            return false;
+        }
+        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+        if ra == rb {
+            return false; // cycle
+        }
+        parent[ra] = rb;
+        components -= 1;
+    }
+    components == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_graph_mst_is_the_path() {
+        let ps = PointSet::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![4.0]]);
+        let t = mst(&ps);
+        assert_eq!(t.cost, 4.0);
+        assert!(is_spanning_tree(4, &t.edges));
+    }
+
+    #[test]
+    fn square_mst_cost() {
+        let ps = PointSet::from_rows(&[
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+        ]);
+        let t = mst(&ps);
+        assert!((t.cost - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_point_has_empty_mst() {
+        let ps = PointSet::from_rows(&[vec![5.0, 5.0]]);
+        let t = mst(&ps);
+        assert!(t.edges.is_empty());
+        assert_eq!(t.cost, 0.0);
+    }
+
+    #[test]
+    fn mst_cost_invariant_under_permutation() {
+        let ps = treeemb_geom::generators::uniform_cube(30, 4, 256, 9);
+        let ids_rev: Vec<usize> = (0..30).rev().collect();
+        let rev = ps.select(&ids_rev);
+        let a = mst(&ps).cost;
+        let b = mst(&rev).cost;
+        assert!((a - b).abs() < 1e-9 * a);
+    }
+
+    #[test]
+    fn spanning_tree_checker_rejects_cycles_and_forests() {
+        assert!(is_spanning_tree(3, &[(0, 1), (1, 2)]));
+        assert!(!is_spanning_tree(3, &[(0, 1), (0, 1)]));
+        assert!(!is_spanning_tree(4, &[(0, 1), (2, 3)]));
+        assert!(!is_spanning_tree(3, &[(0, 1)]));
+    }
+
+    #[test]
+    fn duplicates_cost_zero_edges() {
+        let ps = PointSet::from_rows(&[vec![1.0], vec![1.0], vec![2.0]]);
+        let t = mst(&ps);
+        assert!((t.cost - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,303 @@
+//! Constant-round **MPC** versions of the Corollary-1 applications.
+//!
+//! Corollary 1 claims O(1)-round MPC algorithms, not just sequential
+//! post-processing. The key observation: after Algorithm 2, every point
+//! carries its root-to-leaf path ([`PointPath`]), so each tree statistic
+//! the applications need is a *group-by-node-id fold* over path
+//! elements — one shuffle round plus an aggregation tree:
+//!
+//! * EMD: per-node surplus `|#A − #B|` → weighted sum;
+//! * densest ball: per-node counts + level-determined diameter bounds →
+//!   global argmax;
+//! * MST: per-parent child-representative chains → an edge list of size
+//!   `n − 1` priced in Euclidean space.
+//!
+//! Every function is tested against its sequential counterpart.
+
+use treeemb_core::mpc_embed::PointPath;
+use treeemb_mpc::primitives::{aggregate, shuffle};
+use treeemb_mpc::{Dist, MpcResult, Runtime};
+
+/// Tree EMD between the multisets `{p : sign(p) > 0}` (with
+/// multiplicity `sign`) and `{p : sign(p) < 0}`, computed in O(1)
+/// rounds: `Σ_nodes w(node)·|Σ signs under node|`.
+pub fn mpc_tree_emd<F>(rt: &mut Runtime, paths: Dist<PointPath>, sign: F) -> MpcResult<f64>
+where
+    F: Fn(u32) -> i64 + Sync + Send + Copy,
+{
+    let per_node = rt.map_local(paths, move |_, shard| {
+        let mut out: Vec<(u64, f64, i64)> = Vec::new();
+        for p in &shard {
+            let s = sign(p.point);
+            if s != 0 {
+                for &(node, w, _) in &p.nodes {
+                    out.push((node, w, s));
+                }
+            }
+        }
+        out
+    })?;
+    let folded = shuffle::group_fold(
+        rt,
+        per_node,
+        |r| r.0,
+        |_k, group| {
+            let w = group[0].1;
+            let surplus: i64 = group.iter().map(|r| r.2).sum();
+            w * surplus.unsigned_abs() as f64
+        },
+    )?;
+    aggregate::sum_by(rt, &folded, |x| *x)
+}
+
+/// Result of the distributed densest-ball query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MpcDenseCluster {
+    /// Winning tree node.
+    pub node: u64,
+    /// Points in its subtree.
+    pub count: u64,
+    /// Tree-diameter bound of the cluster (`2 × below-weight`).
+    pub tree_diameter_bound: f64,
+    /// Member point ids.
+    pub points: Vec<u32>,
+}
+
+/// Densest ball in O(1) rounds: the heaviest node whose subtree
+/// tree-diameter (`2 Σ weights below it`, uniform per level) is at most
+/// `max_tree_diameter`. Two passes: count-and-argmax, then membership
+/// retrieval.
+pub fn mpc_densest_cluster(
+    rt: &mut Runtime,
+    paths: Dist<PointPath>,
+    max_tree_diameter: f64,
+) -> MpcResult<MpcDenseCluster> {
+    // Pass 1: per-node (count, below-weight). The root is represented
+    // explicitly (its below-weight is the whole path weight).
+    let root = treeemb_core::mpc_embed::root_key();
+    let per_node = rt.map_local(paths.clone(), move |_, shard| {
+        let mut out: Vec<(u64, f64)> = Vec::new();
+        for p in &shard {
+            // Suffix sums: below-weight of nodes[i] is the sum of the
+            // weights at indices > i (leaf edges weigh 0).
+            let mut below = 0.0;
+            let mut suffix: Vec<f64> = vec![0.0; p.nodes.len()];
+            for i in (0..p.nodes.len()).rev() {
+                suffix[i] = below;
+                below += p.nodes[i].1;
+            }
+            out.push((root, below));
+            for (i, &(node, _, _)) in p.nodes.iter().enumerate() {
+                out.push((node, suffix[i]));
+            }
+        }
+        out
+    })?;
+    let counted = shuffle::group_fold(
+        rt,
+        per_node,
+        |r| r.0,
+        |node, group| {
+            let below = group[0].1;
+            (node, group.len() as u64, below)
+        },
+    )?;
+    let best = aggregate::max_by(rt, &counted, move |&(node, count, below)| {
+        if 2.0 * below <= max_tree_diameter {
+            // Order by count, tie-break smaller diameter (negated bits),
+            // then node id for determinism.
+            Some((count, u64::MAX - below.to_bits(), node))
+        } else {
+            None
+        }
+    })?
+    .flatten();
+    let Some((count, _, node)) = best else {
+        return Err(treeemb_mpc::MpcError::AlgorithmFailure(
+            "no tree node satisfies the diameter bound (bound below leaf level?)".into(),
+        ));
+    };
+
+    // Pass 2: membership retrieval (and the winning node's below-weight,
+    // recoverable from any member's path suffix).
+    let members = rt.map_local(paths, move |_, shard| {
+        shard
+            .into_iter()
+            .filter_map(|p| {
+                let below: f64 = if node == root {
+                    p.nodes.iter().map(|&(_, w, _)| w).sum()
+                } else {
+                    let idx = p.nodes.iter().position(|&(id, _, _)| id == node)?;
+                    p.nodes[idx + 1..].iter().map(|&(_, w, _)| w).sum()
+                };
+                Some((p.point, below))
+            })
+            .collect::<Vec<(u32, f64)>>()
+    })?;
+    let gathered = rt.gather(members);
+    let below = gathered.first().map(|&(_, b)| b).unwrap_or(0.0);
+    let mut points: Vec<u32> = gathered.into_iter().map(|(p, _)| p).collect();
+    points.sort_unstable();
+    debug_assert_eq!(points.len() as u64, count);
+    Ok(MpcDenseCluster {
+        node,
+        count,
+        tree_diameter_bound: 2.0 * below,
+        points,
+    })
+}
+
+/// Spanning-tree edge list from the distributed embedding in O(1)
+/// rounds: within every internal node, consecutive child clusters are
+/// stitched through their minimum-point-id representatives. The edges
+/// (point-id pairs, `n − 1` of them) are gathered for Euclidean pricing
+/// by the caller.
+pub fn mpc_mst_edges(rt: &mut Runtime, paths: Dist<PointPath>) -> MpcResult<Vec<(u32, u32)>> {
+    // Records: (parent node, child node, point under child). The root's
+    // children use the root sentinel parent; each point also emits a
+    // unique leaf child under its last node so duplicate groups chain.
+    let root = treeemb_core::mpc_embed::root_key();
+    let records = rt.map_local(paths, move |_, shard| {
+        let mut out: Vec<(u64, u64, u32)> = Vec::new();
+        for p in &shard {
+            let mut parent = root;
+            for &(node, _, _) in &p.nodes {
+                out.push((parent, node, p.point));
+                parent = node;
+            }
+            let leaf = treeemb_core::mpc_embed::leaf_key(parent, p.point);
+            out.push((parent, leaf, p.point));
+        }
+        out
+    })?;
+    // Group by parent: representative (min point) per child, then chain
+    // consecutive children.
+    let edges = shuffle::group_fold(
+        rt,
+        records,
+        |r| r.0,
+        |_parent, group| {
+            let mut reps: std::collections::BTreeMap<u64, u32> = std::collections::BTreeMap::new();
+            for (_, child, point) in group {
+                reps.entry(child)
+                    .and_modify(|m| *m = (*m).min(point))
+                    .or_insert(point);
+            }
+            let chain: Vec<u32> = reps.into_values().collect();
+            chain
+                .windows(2)
+                .map(|w| (w[0], w[1]))
+                .collect::<Vec<(u32, u32)>>()
+        },
+    )?;
+    let flat = rt.map_local(edges, |_, shard| {
+        shard.into_iter().flatten().collect::<Vec<(u32, u32)>>()
+    })?;
+    let mut out = rt.gather(flat);
+    out.sort_unstable();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::densest_ball::densest_cluster;
+    use crate::emd::tree_emd;
+    use crate::exact::prim;
+    use crate::mst::tree_mst;
+    use treeemb_core::mpc_embed::embed_mpc_full;
+    use treeemb_core::params::HybridParams;
+    use treeemb_geom::generators;
+    use treeemb_mpc::MpcConfig;
+
+    fn setup(
+        n: usize,
+        seed: u64,
+    ) -> (
+        treeemb_geom::PointSet,
+        Runtime,
+        treeemb_core::seq::Embedding,
+        Dist<PointPath>,
+    ) {
+        let ps = generators::gaussian_clusters(n, 8, 3, 3.0, 1 << 10, seed);
+        let params = HybridParams::for_dataset(&ps, 4).unwrap();
+        let cap = (params.total_grid_words() * 4).max(1 << 16);
+        let mut rt = Runtime::new(MpcConfig::explicit(n * 9, cap, 8).with_threads(4));
+        let full = embed_mpc_full(&mut rt, &ps, &params, seed).unwrap();
+        (ps, rt, full.embedding, full.paths)
+    }
+
+    #[test]
+    fn mpc_emd_matches_sequential_tree_emd() {
+        let (_, mut rt, emb, paths) = setup(30, 3);
+        let a: Vec<usize> = (0..15).collect();
+        let b: Vec<usize> = (15..30).collect();
+        let seq = tree_emd(&emb, &a, &b);
+        let par = mpc_tree_emd(&mut rt, paths, |p| if p < 15 { 1 } else { -1 }).unwrap();
+        assert!((seq - par).abs() < 1e-9 * (1.0 + seq), "{seq} vs {par}");
+    }
+
+    #[test]
+    fn mpc_emd_uses_constant_extra_rounds() {
+        let (_, mut rt, _, paths) = setup(40, 5);
+        let before = rt.metrics().rounds();
+        let _ = mpc_tree_emd(&mut rt, paths, |p| if p % 2 == 0 { 1 } else { -1 }).unwrap();
+        let extra = rt.metrics().rounds() - before;
+        assert!(extra <= 4, "EMD used {extra} rounds");
+    }
+
+    #[test]
+    fn mpc_densest_matches_sequential_count() {
+        let (_, mut rt, emb, paths) = setup(40, 7);
+        for bound in [50.0, 400.0, 1e6] {
+            let seq = densest_cluster(&emb, bound);
+            let par = mpc_densest_cluster(&mut rt, paths.clone(), bound).unwrap();
+            assert_eq!(seq.count as u64, par.count, "bound {bound}");
+            assert!(par.tree_diameter_bound <= bound);
+            assert_eq!(par.points.len() as u64, par.count);
+        }
+    }
+
+    #[test]
+    fn mpc_densest_members_fit_bound() {
+        let (ps, mut rt, _, paths) = setup(50, 9);
+        let par = mpc_densest_cluster(&mut rt, paths, 200.0).unwrap();
+        let ids: Vec<usize> = par.points.iter().map(|&p| p as usize).collect();
+        let members = ps.select(&ids);
+        let diam = treeemb_geom::metrics::diameter(&members);
+        assert!(diam <= par.tree_diameter_bound + 1e-9, "{diam} > bound");
+    }
+
+    #[test]
+    fn mpc_mst_is_spanning_and_matches_sequential_structure() {
+        let (ps, mut rt, emb, paths) = setup(35, 11);
+        let edges = mpc_mst_edges(&mut rt, paths).unwrap();
+        let e: Vec<(usize, usize)> = edges
+            .iter()
+            .map(|&(a, b)| (a as usize, b as usize))
+            .collect();
+        assert!(
+            prim::is_spanning_tree(35, &e),
+            "not a spanning tree: {} edges",
+            e.len()
+        );
+        // Same representative-stitching rule as the sequential tree_mst:
+        // edge sets agree as sets (orientation may differ).
+        let seq = tree_mst(&emb, &ps);
+        let norm = |edges: &[(usize, usize)]| {
+            let mut v: Vec<(usize, usize)> =
+                edges.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(norm(&e), norm(&seq.edges));
+    }
+
+    #[test]
+    fn mpc_emd_zero_for_identical_multisets() {
+        let (_, mut rt, _, paths) = setup(20, 13);
+        // sign 0 everywhere: no mass.
+        let v = mpc_tree_emd(&mut rt, paths, |_| 0).unwrap();
+        assert_eq!(v, 0.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for the applications: structural guarantees that must
+//! hold for every input and seed.
+
+use proptest::prelude::*;
+use treeemb_apps::emd::{exact_emd, tree_emd};
+use treeemb_apps::exact::matching::min_cost_matching;
+use treeemb_apps::exact::prim;
+use treeemb_apps::kmedian::{kmedian_cost_tree, tree_kmedian};
+use treeemb_apps::mst::tree_mst;
+use treeemb_core::params::HybridParams;
+use treeemb_core::seq::{Embedding, SeqEmbedder};
+use treeemb_geom::PointSet;
+
+fn point_set() -> impl Strategy<Value = PointSet> {
+    (2usize..=4, 3usize..=10).prop_flat_map(|(d, n)| {
+        proptest::collection::vec(proptest::collection::vec(1i32..=128, d), n).prop_map(|rows| {
+            let rows: Vec<Vec<f64>> = rows
+                .into_iter()
+                .map(|r| r.into_iter().map(f64::from).collect())
+                .collect();
+            PointSet::from_rows(&rows)
+        })
+    })
+}
+
+fn embed(ps: &PointSet, seed: u64) -> Embedding {
+    let r = 2.min(ps.dim());
+    SeqEmbedder::new(HybridParams::for_dataset(ps, r).unwrap())
+        .embed(ps, seed)
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tree_mst_spans_and_dominates_exact(ps in point_set(), seed in 0u64..500) {
+        let emb = embed(&ps, seed);
+        let st = tree_mst(&emb, &ps);
+        prop_assert!(prim::is_spanning_tree(ps.len(), &st.edges));
+        let exact = prim::mst(&ps);
+        prop_assert!(st.cost >= exact.cost * (1.0 - 1e-9));
+    }
+
+    #[test]
+    fn tree_emd_is_symmetric_and_dominates(ps in point_set(), seed in 0u64..500) {
+        let emb = embed(&ps, seed);
+        let half = ps.len() / 2;
+        if half == 0 {
+            return Ok(());
+        }
+        let a: Vec<usize> = (0..half).collect();
+        let b: Vec<usize> = (half..2 * half).collect();
+        let ab = tree_emd(&emb, &a, &b);
+        let ba = tree_emd(&emb, &b, &a);
+        prop_assert!((ab - ba).abs() < 1e-9 * (1.0 + ab), "EMD not symmetric");
+        let exact = exact_emd(&ps, &a, &b);
+        prop_assert!(ab >= exact * (1.0 - 1e-9), "tree EMD {ab} < exact {exact}");
+    }
+
+    #[test]
+    fn kmedian_dp_is_optimal_and_monotone(ps in point_set(), seed in 0u64..500) {
+        let emb = embed(&ps, seed);
+        let n = ps.len();
+        let mut prev = f64::INFINITY;
+        for k in 1..=3.min(n) {
+            let result = tree_kmedian(&emb, k);
+            prop_assert_eq!(result.medians.len(), k);
+            // The claimed cost is achieved by the returned medians.
+            let achieved = kmedian_cost_tree(&emb, &result.medians);
+            prop_assert!(
+                (achieved - result.tree_cost).abs() < 1e-9 * (1.0 + achieved),
+                "claimed {} vs achieved {achieved}", result.tree_cost
+            );
+            prop_assert!(result.tree_cost <= prev + 1e-9, "cost not monotone in k");
+            prev = result.tree_cost;
+        }
+    }
+
+    #[test]
+    fn hungarian_cost_never_exceeds_any_permutation(
+        cost_rows in proptest::collection::vec(
+            proptest::collection::vec(0f64..100.0, 4),
+            4,
+        ),
+        perm_seed in 0usize..24,
+    ) {
+        let (_, optimal) = min_cost_matching(&cost_rows);
+        // Compare against one arbitrary permutation.
+        let mut perm = [0usize, 1, 2, 3];
+        // perm_seed indexes a fixed enumeration of S4 cheaply.
+        let mut s = perm_seed;
+        for i in (1..4).rev() {
+            perm.swap(i, s % (i + 1));
+            s /= i + 1;
+        }
+        let candidate: f64 = perm.iter().enumerate().map(|(i, &j)| cost_rows[i][j]).sum();
+        prop_assert!(optimal <= candidate + 1e-9);
+    }
+}

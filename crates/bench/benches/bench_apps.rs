@@ -1,0 +1,68 @@
+//! Criterion benches for the applications vs their exact baselines —
+//! the asymptotic win of the tree route (near-linear once the tree
+//! exists vs `O(n²)`/`O(n³)` exact).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use treeemb_apps::densest_ball::densest_cluster;
+use treeemb_apps::emd::{exact_emd, tree_emd};
+use treeemb_apps::exact::prim;
+use treeemb_apps::mst::tree_mst;
+use treeemb_core::params::HybridParams;
+use treeemb_core::seq::SeqEmbedder;
+use treeemb_geom::generators;
+
+fn bench_mst(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mst");
+    g.sample_size(10);
+    for n in [128usize, 512] {
+        let ps = generators::uniform_cube(n, 8, 1 << 10, 3);
+        let emb = SeqEmbedder::new(HybridParams::for_dataset(&ps, 4).unwrap())
+            .embed(&ps, 1)
+            .unwrap();
+        g.bench_with_input(BenchmarkId::new("tree_guided", n), &ps, |b, ps| {
+            b.iter(|| tree_mst(&emb, ps));
+        });
+        g.bench_with_input(BenchmarkId::new("exact_prim", n), &ps, |b, ps| {
+            b.iter(|| prim::mst(ps));
+        });
+    }
+    g.finish();
+}
+
+fn bench_emd(c: &mut Criterion) {
+    let mut g = c.benchmark_group("emd");
+    g.sample_size(10);
+    for half in [32usize, 96] {
+        let n = half * 2;
+        let ps = generators::uniform_cube(n, 8, 1 << 10, 5);
+        let a: Vec<usize> = (0..half).collect();
+        let b_ids: Vec<usize> = (half..n).collect();
+        let emb = SeqEmbedder::new(HybridParams::for_dataset(&ps, 4).unwrap())
+            .embed(&ps, 2)
+            .unwrap();
+        g.bench_with_input(BenchmarkId::new("tree_flow", half), &ps, |b, _| {
+            b.iter(|| tree_emd(&emb, &a, &b_ids));
+        });
+        g.bench_with_input(BenchmarkId::new("exact_hungarian", half), &ps, |b, ps| {
+            b.iter(|| exact_emd(ps, &a, &b_ids));
+        });
+    }
+    g.finish();
+}
+
+fn bench_densest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("densest_ball");
+    g.sample_size(10);
+    let inst = generators::planted_ball(512, 8, 128, 10.0, 1 << 12, 7);
+    let emb = SeqEmbedder::new(HybridParams::for_dataset(&inst.points, 4).unwrap())
+        .embed(&inst.points, 3)
+        .unwrap();
+    g.bench_function("tree_query", |b| b.iter(|| densest_cluster(&emb, 160.0)));
+    g.bench_function("exact_scan", |b| {
+        b.iter(|| treeemb_apps::exact::ball::best_point_centered(&inst.points, 10.0))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_mst, bench_emd, bench_densest);
+criterion_main!(benches);

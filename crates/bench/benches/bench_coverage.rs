@@ -1,0 +1,63 @@
+//! Criterion benches for the partitioning layer: ball-grid assignment
+//! cost as the bucket dimension grows (the Lemma-6 wall, measured in
+//! nanoseconds).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use treeemb_partition::ball::GridSequence;
+use treeemb_partition::coverage::grids_needed;
+use treeemb_partition::hybrid::HybridLevel;
+
+fn bench_ball_assign(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ball_assign");
+    for m in [2usize, 4, 5, 6] {
+        let u = grids_needed(m, 1000, 1e-3);
+        let seq = GridSequence::build(m, 1.0, u, 7);
+        let points: Vec<Vec<f64>> = (0..256)
+            .map(|i| {
+                (0..m)
+                    .map(|j| ((i * 7 + j * 13) % 97) as f64 * 0.37)
+                    .collect()
+            })
+            .collect();
+        g.bench_with_input(
+            BenchmarkId::new(format!("m{m}_U{u}"), m),
+            &points,
+            |b, pts| {
+                b.iter(|| {
+                    let mut covered = 0usize;
+                    for p in pts {
+                        if seq.assign(p).is_some() {
+                            covered += 1;
+                        }
+                    }
+                    covered
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_hybrid_level(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hybrid_level_assign");
+    let d = 16;
+    for r in [4usize, 8, 16] {
+        let m = d / r;
+        let u = grids_needed(m, 1000, 1e-3);
+        let level = HybridLevel::new(d, r, 8.0, u, 11);
+        let points: Vec<Vec<f64>> = (0..256)
+            .map(|i| (0..d).map(|j| ((i * 11 + j * 5) % 251) as f64).collect())
+            .collect();
+        g.bench_with_input(
+            BenchmarkId::new(format!("d16_r{r}"), r),
+            &points,
+            |b, pts| {
+                b.iter(|| pts.iter().filter(|p| level.assign(p).is_some()).count());
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ball_assign, bench_hybrid_level);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Criterion benches for the embedding pipelines: Algorithm 1 (hybrid),
+//! the grid baseline, and Algorithm 2 (MPC).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use treeemb_core::mpc_embed::embed_mpc;
+use treeemb_core::params::{GridParams, HybridParams};
+use treeemb_core::seq::{GridEmbedder, SeqEmbedder};
+use treeemb_geom::generators;
+use treeemb_mpc::{MpcConfig, Runtime};
+
+fn bench_seq_embed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("embed_seq");
+    g.sample_size(10);
+    for n in [64usize, 256, 1024] {
+        let ps = generators::uniform_cube(n, 8, 1 << 10, 3);
+        let hp = HybridParams::for_dataset(&ps, 4).unwrap();
+        let hybrid = SeqEmbedder::new(hp);
+        g.bench_with_input(BenchmarkId::new("hybrid_r4", n), &ps, |b, ps| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                hybrid.embed(ps, seed).unwrap()
+            });
+        });
+        let gp = GridParams::for_dataset(&ps).unwrap();
+        let grid = GridEmbedder::new(gp);
+        g.bench_with_input(BenchmarkId::new("grid", n), &ps, |b, ps| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                grid.embed(ps, seed).unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_parallel_embed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("embed_parallel");
+    g.sample_size(10);
+    let n = 1024;
+    let ps = generators::uniform_cube(n, 8, 1 << 10, 7);
+    let hp = HybridParams::for_dataset(&ps, 4).unwrap();
+    let embedder = SeqEmbedder::new(hp);
+    for threads in [1usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                embedder.embed_parallel(&ps, seed, t).unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_distance_queries(c: &mut Criterion) {
+    use treeemb_hst::DistanceOracle;
+    let mut g = c.benchmark_group("tree_distance");
+    let ps = generators::uniform_cube(2048, 8, 1 << 12, 9);
+    let emb = SeqEmbedder::new(HybridParams::for_dataset(&ps, 4).unwrap())
+        .embed(&ps, 1)
+        .unwrap();
+    let oracle = DistanceOracle::new(&emb.tree);
+    let pairs: Vec<(usize, usize)> = (0..4096)
+        .map(|i| ((i * 37) % 2048, (i * 101) % 2048))
+        .collect();
+    g.bench_function("walkup_4k_queries", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .map(|&(p, q)| emb.tree_distance(p, q))
+                .sum::<f64>()
+        })
+    });
+    g.bench_function("oracle_4k_queries", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .map(|&(p, q)| oracle.distance(p, q))
+                .sum::<f64>()
+        })
+    });
+    g.bench_function("oracle_build", |b| {
+        b.iter(|| DistanceOracle::new(&emb.tree))
+    });
+    g.finish();
+}
+
+fn bench_mpc_embed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("embed_mpc");
+    g.sample_size(10);
+    for n in [64usize, 256] {
+        let ps = generators::uniform_cube(n, 8, 1 << 10, 5);
+        let params = HybridParams::for_dataset(&ps, 4).unwrap();
+        let cap = (params.total_grid_words() * 4).max(1 << 16);
+        g.bench_with_input(BenchmarkId::new("algorithm2", n), &ps, |b, ps| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let mut rt = Runtime::new(MpcConfig::explicit(n * 9, cap, 8).with_threads(4));
+                embed_mpc(&mut rt, ps, &params, seed).unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_seq_embed,
+    bench_parallel_embed,
+    bench_distance_queries,
+    bench_mpc_embed
+);
+criterion_main!(benches);

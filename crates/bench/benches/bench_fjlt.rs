@@ -1,0 +1,72 @@
+//! Criterion microbenches for the JL layer: WHT throughput, sequential
+//! FJLT vs dense JL, and the MPC FJLT end to end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use treeemb_fjlt::dense::gaussian_jl;
+use treeemb_fjlt::fjlt::{Fjlt, FjltParams};
+use treeemb_fjlt::mpc::fjlt_mpc;
+use treeemb_geom::generators;
+use treeemb_linalg::wht::wht_inplace;
+use treeemb_mpc::{MpcConfig, Runtime};
+
+fn bench_wht(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wht");
+    for log_n in [8u32, 12, 16] {
+        let n = 1usize << log_n;
+        let data: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        g.bench_with_input(BenchmarkId::new("inplace", n), &data, |b, data| {
+            b.iter_batched(
+                || data.clone(),
+                |mut d| {
+                    wht_inplace(&mut d);
+                    d
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_seq_transforms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("jl_seq");
+    let n = 64;
+    for d in [256usize, 1024, 4096] {
+        let ps = generators::uniform_cube(n, d, 1 << 10, 3);
+        let params = FjltParams::for_dataset(n, d, 0.5, 7);
+        let fjlt = Fjlt::new(params);
+        g.bench_with_input(BenchmarkId::new("fjlt", d), &ps, |b, ps| {
+            b.iter(|| fjlt.apply(ps));
+        });
+        if d <= 1024 {
+            g.bench_with_input(BenchmarkId::new("dense_jl", d), &ps, |b, ps| {
+                b.iter(|| gaussian_jl(ps, params.k, 7));
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_mpc_fjlt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("jl_mpc");
+    g.sample_size(10);
+    let n = 32;
+    for d in [256usize, 1024] {
+        let ps = generators::uniform_cube(n, d, 1 << 10, 5);
+        let params = FjltParams::for_dataset(n, d, 0.5, 9);
+        g.bench_with_input(BenchmarkId::new("fjlt_mpc", d), &ps, |b, ps| {
+            b.iter(|| {
+                let mut rt = Runtime::new(
+                    MpcConfig::explicit(n * d, 1 << 18, 8)
+                        .with_threads(4)
+                        .lenient(),
+                );
+                fjlt_mpc(&mut rt, ps, &params).unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_wht, bench_seq_transforms, bench_mpc_fjlt);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! `cargo bench --bench experiments` — regenerates every table/figure
+//! of EXPERIMENTS.md (quick scale; run the `exp` binary with `--full`
+//! for the larger sweeps).
+
+use treeemb_bench::{run_experiment, Scale, ALL_EXPERIMENTS};
+
+fn main() {
+    // Honour criterion-style filter args minimally: any arg that matches
+    // an experiment id restricts the run.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<&str> = ALL_EXPERIMENTS
+        .iter()
+        .copied()
+        .filter(|id| args.iter().all(|a| a.starts_with('-')) || args.iter().any(|a| a == id))
+        .collect();
+    let scale = Scale::quick();
+    for id in wanted {
+        let start = std::time::Instant::now();
+        let tables = run_experiment(id, scale);
+        for t in &tables {
+            println!("{}", t.to_markdown());
+        }
+        println!(
+            "[{} finished in {:.2?}]\n",
+            id.to_uppercase(),
+            start.elapsed()
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Experiment runner CLI.
+//!
+//! ```text
+//! cargo run --release -p treeemb-bench --bin exp -- all
+//! cargo run --release -p treeemb-bench --bin exp -- e1 e10 --full
+//! cargo run --release -p treeemb-bench --bin exp -- e3 --csv out/
+//! ```
+
+use treeemb_bench::{run_experiment, Scale, ALL_EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let csv_dir = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let mut wanted: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .filter(|a| Some(a.as_str()) != csv_dir.as_deref())
+        .map(|a| a.to_lowercase())
+        .collect();
+    if wanted.is_empty() || wanted.iter().any(|a| a == "all") {
+        wanted = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+    let scale = if full { Scale::full() } else { Scale::quick() };
+    for id in &wanted {
+        eprintln!(
+            "== running {} ({}) ==",
+            id.to_uppercase(),
+            if full { "full" } else { "quick" }
+        );
+        let start = std::time::Instant::now();
+        let tables = run_experiment(id, scale);
+        for t in &tables {
+            println!("{}", t.to_markdown());
+            if let Some(dir) = &csv_dir {
+                std::fs::create_dir_all(dir).expect("create csv dir");
+                let path = format!("{dir}/{}.csv", t.id.to_lowercase());
+                std::fs::write(&path, t.to_csv()).expect("write csv");
+                eprintln!("wrote {path}");
+            }
+        }
+        eprintln!(
+            "== {} done in {:.2?} ==\n",
+            id.to_uppercase(),
+            start.elapsed()
+        );
+    }
+}

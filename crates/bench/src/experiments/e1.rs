@@ -1,0 +1,94 @@
+//! E1 — Theorem 2: expected distortion scales like `√(d·r)·logΔ`.
+//!
+//! Sweeps the bucket count `r` at fixed dimension: the measured expected
+//! distortion should grow with `√r` while the grid budget `U` shrinks
+//! dramatically — the trade-off hybrid partitioning navigates. `r = d`
+//! is the grid-like extreme; small `r` approaches ball partitioning.
+
+use crate::{table::fnum, Scale, Table};
+use treeemb_core::audit::estimate_expected_distortion;
+use treeemb_core::params::HybridParams;
+use treeemb_core::seq::SeqEmbedder;
+use treeemb_geom::generators;
+
+/// Runs E1.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let n = scale.pick(32, 96);
+    let trials = scale.pick(6, 24);
+    let delta = 1u64 << 8;
+    let mut t = Table::new(
+        "E1",
+        "expected distortion vs bucket count r (fixed d, Δ=2^8; Theorem 2: α = O(√(d·r)·logΔ))",
+        &[
+            "d",
+            "r",
+            "m=d/r",
+            "U (grids)",
+            "levels",
+            "E-distortion (max pair)",
+            "mean ratio",
+            "theory √(dr)·logΔ",
+        ],
+    );
+    for (d, rs) in [
+        (4usize, vec![1usize, 2, 4]),
+        (8, vec![2, 4, 8]),
+        (16, vec![4, 8, 16]),
+    ] {
+        let ps = generators::uniform_cube(n, d, delta, 101 + d as u64);
+        for &r in &rs {
+            let params = match HybridParams::for_dataset(&ps, r) {
+                Ok(p) => p,
+                Err(e) => {
+                    t.row(vec![
+                        d.to_string(),
+                        r.to_string(),
+                        (d / r).to_string(),
+                        format!("infeasible: {e}"),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                    ]);
+                    continue;
+                }
+            };
+            let emb = SeqEmbedder::new(params.clone());
+            let est = estimate_expected_distortion(&ps, trials, |seed| emb.embed(&ps, seed))
+                .expect("embedding failed");
+            let theory = ((d * r) as f64).sqrt() * (delta as f64).ln() / std::f64::consts::LN_2;
+            t.row(vec![
+                d.to_string(),
+                r.to_string(),
+                (params.dim / r).to_string(),
+                params.grids_per_bucket.to_string(),
+                params.num_levels().to_string(),
+                fnum(est.expected_distortion),
+                fnum(est.mean_ratio),
+                fnum(theory),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_distortion_grows_with_r_at_fixed_d() {
+        let tables = run(Scale::quick());
+        let t = &tables[0];
+        // Within the d=8 block, r=2 should beat (or at worst match) r=8
+        // on expected distortion — the paper's core claim.
+        let rows8: Vec<&Vec<String>> = t.rows.iter().filter(|r| r[0] == "8").collect();
+        assert_eq!(rows8.len(), 2 + 1);
+        let lo: f64 = rows8.first().unwrap()[5].parse().unwrap();
+        let hi: f64 = rows8.last().unwrap()[5].parse().unwrap();
+        assert!(
+            lo <= hi * 1.3,
+            "distortion at small r ({lo}) >> at r=d ({hi})"
+        );
+    }
+}

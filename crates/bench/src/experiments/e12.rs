@@ -1,0 +1,83 @@
+//! E12 — Algorithm 2 ≡ Algorithm 1: the MPC embedding computes the same
+//! tree metric as the sequential one, and its round budget decomposes
+//! into the paper's four steps.
+
+use crate::{table::fnum, Scale, Table};
+use treeemb_core::mpc_embed::embed_mpc;
+use treeemb_core::params::HybridParams;
+use treeemb_core::seq::SeqEmbedder;
+use treeemb_geom::generators;
+use treeemb_mpc::{MpcConfig, Runtime};
+
+/// Runs E12.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let n = scale.pick(32, 128);
+    let ps = generators::uniform_cube(n, 8, 1 << 8, 23);
+    let params = HybridParams::for_dataset(&ps, 4).unwrap();
+    let seed = 9;
+    let seq = SeqEmbedder::new(params.clone()).embed(&ps, seed).unwrap();
+    let cap = (params.total_grid_words() * 4).max(1 << 15);
+    let mut rt = Runtime::new(MpcConfig::explicit(n * 9, cap, 8).with_threads(4));
+    let par = embed_mpc(&mut rt, &ps, &params, seed).unwrap();
+
+    let mut max_diff: f64 = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            max_diff = max_diff.max((seq.tree_distance(i, j) - par.tree_distance(i, j)).abs());
+        }
+    }
+    let mut eq = Table::new(
+        "E12a",
+        "sequential vs MPC embedding, same seed (must agree)",
+        &[
+            "n",
+            "max |dist_seq − dist_mpc|",
+            "seq nodes",
+            "mpc nodes",
+            "rounds total",
+        ],
+    );
+    eq.row(vec![
+        n.to_string(),
+        fnum(max_diff),
+        seq.tree.num_nodes().to_string(),
+        par.tree.num_nodes().to_string(),
+        rt.metrics().rounds().to_string(),
+    ]);
+
+    let mut budget = Table::new(
+        "E12b",
+        "Algorithm 2 round budget by step (grids broadcast / paths local / dedup shuffle / failure check)",
+        &["step", "rounds", "words sent"],
+    );
+    let stats = rt.metrics().round_stats();
+    for prefix in ["broadcast", "reduce", "shuffle"] {
+        let rounds = stats.iter().filter(|r| r.label.starts_with(prefix)).count();
+        let words: usize = stats
+            .iter()
+            .filter(|r| r.label.starts_with(prefix))
+            .map(|r| r.sent_words)
+            .sum();
+        budget.row(vec![prefix.into(), rounds.to_string(), words.to_string()]);
+    }
+    budget.row(vec![
+        "path construction".into(),
+        "0 (machine-local)".into(),
+        "0".into(),
+    ]);
+    vec![eq, budget]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e12_metrics_agree() {
+        let tables = run(Scale::quick());
+        let diff: f64 = tables[0].rows[0][1].parse().unwrap();
+        assert!(diff < 1e-9, "seq/mpc metric divergence {diff}");
+        let rounds: usize = tables[0].rows[0][4].parse().unwrap();
+        assert!(rounds <= 10, "round budget {rounds}");
+    }
+}

@@ -1,0 +1,114 @@
+//! E13 — Corollary 1 as stated: the applications themselves run in O(1)
+//! MPC rounds on top of the distributed embedding, and agree with their
+//! sequential counterparts.
+
+use crate::{table::fnum, Scale, Table};
+use treeemb_apps::densest_ball::densest_cluster;
+use treeemb_apps::emd::tree_emd;
+use treeemb_apps::exact::prim;
+use treeemb_apps::mpc::{mpc_densest_cluster, mpc_mst_edges, mpc_tree_emd};
+use treeemb_apps::mst::tree_mst;
+use treeemb_core::mpc_embed::embed_mpc_full;
+use treeemb_core::params::HybridParams;
+use treeemb_geom::generators;
+use treeemb_mpc::{MpcConfig, Runtime};
+
+/// Runs E13.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let n = scale.pick(40, 160);
+    let ps = generators::gaussian_clusters(n, 8, 4, 3.0, 1 << 10, 77);
+    let params = HybridParams::for_dataset(&ps, 4).unwrap();
+    let cap = (params.total_grid_words() * 4).max(1 << 16);
+    let mut rt = Runtime::new(MpcConfig::explicit(n * 9, cap, 8).with_threads(4));
+    let full = embed_mpc_full(&mut rt, &ps, &params, 3).unwrap();
+    let embed_rounds = rt.metrics().rounds();
+
+    let mut t = Table::new(
+        "E13",
+        "constant-round MPC applications (Cor 1): extra rounds beyond the embedding + agreement with sequential",
+        &["application", "extra rounds", "mpc value", "sequential value", "agree"],
+    );
+
+    // EMD.
+    let half = n / 2;
+    let before = rt.metrics().rounds();
+    let mpc_emd = mpc_tree_emd(&mut rt, full.paths.clone(), move |p| {
+        if (p as usize) < half {
+            1
+        } else {
+            -1
+        }
+    })
+    .unwrap();
+    let emd_rounds = rt.metrics().rounds() - before;
+    let a: Vec<usize> = (0..half).collect();
+    let b: Vec<usize> = (half..n).collect();
+    let seq_emd = tree_emd(&full.embedding, &a, &b);
+    t.row(vec![
+        "EMD".into(),
+        emd_rounds.to_string(),
+        fnum(mpc_emd),
+        fnum(seq_emd),
+        ((mpc_emd - seq_emd).abs() < 1e-9 * (1.0 + seq_emd)).to_string(),
+    ]);
+
+    // Densest ball.
+    let bound = 300.0;
+    let before = rt.metrics().rounds();
+    let mpc_db = mpc_densest_cluster(&mut rt, full.paths.clone(), bound).unwrap();
+    let db_rounds = rt.metrics().rounds() - before;
+    let seq_db = densest_cluster(&full.embedding, bound);
+    t.row(vec![
+        "densest ball".into(),
+        db_rounds.to_string(),
+        mpc_db.count.to_string(),
+        seq_db.count.to_string(),
+        (mpc_db.count == seq_db.count as u64).to_string(),
+    ]);
+
+    // MST.
+    let before = rt.metrics().rounds();
+    let edges = mpc_mst_edges(&mut rt, full.paths.clone()).unwrap();
+    let mst_rounds = rt.metrics().rounds() - before;
+    let e: Vec<(usize, usize)> = edges
+        .iter()
+        .map(|&(a, b)| (a as usize, b as usize))
+        .collect();
+    let mpc_cost = prim::edges_cost(&ps, &e);
+    let seq_cost = tree_mst(&full.embedding, &ps).cost;
+    t.row(vec![
+        "MST".into(),
+        mst_rounds.to_string(),
+        fnum(mpc_cost),
+        fnum(seq_cost),
+        (prim::is_spanning_tree(n, &e) && (mpc_cost - seq_cost).abs() < 1e-9 * (1.0 + seq_cost))
+            .to_string(),
+    ]);
+
+    t.row(vec![
+        "(embedding itself)".into(),
+        embed_rounds.to_string(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+    ]);
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e13_all_applications_agree_in_constant_rounds() {
+        let tables = run(Scale::quick());
+        for row in &tables[0].rows {
+            if row[0].starts_with('(') {
+                continue;
+            }
+            let rounds: usize = row[1].parse().unwrap();
+            assert!(rounds <= 4, "{}: {rounds} rounds", row[0]);
+            assert_eq!(row[4], "true", "{} disagrees with sequential", row[0]);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! E14 — k-median through the embedding: the classic tree-embedding
+//! application (§1: FRT "notably yielded the first polylogarithmic
+//! approximation for the k-median problem"). The tree DP is exact on
+//! the tree metric; pricing its medians in Euclidean space stays within
+//! the embedding's distortion of the exact optimum.
+
+use crate::{table::fnum, Scale, Table};
+use treeemb_apps::kmedian::{exact_kmedian_euclid, kmedian_cost_euclid, tree_kmedian};
+use treeemb_core::params::HybridParams;
+use treeemb_core::seq::SeqEmbedder;
+use treeemb_geom::generators;
+
+/// Runs E14.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let n = scale.pick(12, 16);
+    let trials = scale.pick(5u64, 12);
+    let mut t = Table::new(
+        "E14",
+        "k-median via the tree embedding vs exact enumeration (ratio bounded by E[distortion])",
+        &[
+            "n",
+            "k",
+            "exact OPT",
+            "tree-median cost (mean)",
+            "best-of-trials",
+            "mean ratio",
+        ],
+    );
+    let ps = generators::gaussian_clusters(n, 6, 3, 2.0, 512, 23);
+    let embedder = SeqEmbedder::new(HybridParams::for_dataset(&ps, 3).unwrap());
+    for &k in &[1usize, 2, 3] {
+        let (_, opt) = exact_kmedian_euclid(&ps, k);
+        let mut sum = 0.0;
+        let mut best = f64::INFINITY;
+        for s in 0..trials {
+            let emb = embedder.embed(&ps, 500 + s).unwrap();
+            let result = tree_kmedian(&emb, k);
+            let euclid = kmedian_cost_euclid(&ps, &result.medians);
+            sum += euclid;
+            best = best.min(euclid);
+        }
+        let mean = sum / trials as f64;
+        t.row(vec![
+            n.to_string(),
+            k.to_string(),
+            fnum(opt),
+            fnum(mean),
+            fnum(best),
+            fnum(mean / opt.max(1e-12)),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e14_ratios_bounded_and_dominating() {
+        let tables = run(Scale::quick());
+        for row in &tables[0].rows {
+            let ratio: f64 = row[5].parse().unwrap();
+            assert!(ratio >= 1.0 - 1e-9, "below OPT?");
+            assert!(ratio < 15.0, "k-median ratio {ratio} too large");
+        }
+    }
+}

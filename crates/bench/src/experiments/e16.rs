@@ -1,0 +1,94 @@
+//! E16 — Theorem 1's failure budget: the algorithm "reports failure"
+//! with probability controlled by the configured `δ`. With the Lemma-7
+//! grid budget sized for `δ`, the empirical coverage-failure rate must
+//! stay below `δ`; with a deliberately starved budget, failures appear
+//! and are *reported*, never silently mis-embedded.
+
+use crate::{table::fnum, Scale, Table};
+use treeemb_core::error::EmbedError;
+use treeemb_core::params::HybridParams;
+use treeemb_core::seq::SeqEmbedder;
+use treeemb_geom::generators;
+
+/// Runs E16.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let n = scale.pick(24, 64);
+    let trials = scale.pick(60u64, 300);
+    let mut t = Table::new(
+        "E16",
+        "coverage-failure budget: empirical failure rate vs configured δ (and vs a starved budget)",
+        &[
+            "budget",
+            "U (grids)",
+            "trials",
+            "failures",
+            "empirical rate",
+            "configured δ",
+        ],
+    );
+    let ps = generators::uniform_cube(n, 8, 1 << 8, 31);
+
+    for &delta in &[1e-1f64, 1e-3] {
+        let params = HybridParams::for_dataset_with_sep(&ps, 4, 1.0, delta).unwrap();
+        let embedder = SeqEmbedder::new(params.clone());
+        let mut failures = 0usize;
+        for s in 0..trials {
+            if matches!(
+                embedder.embed(&ps, 7000 + s),
+                Err(EmbedError::CoverageFailure { .. })
+            ) {
+                failures += 1;
+            }
+        }
+        t.row(vec![
+            format!("Lemma 7 (δ={delta})"),
+            params.grids_per_bucket.to_string(),
+            trials.to_string(),
+            failures.to_string(),
+            fnum(failures as f64 / trials as f64),
+            fnum(delta),
+        ]);
+    }
+
+    // Starved budget: a fraction of the Lemma-7 count must visibly fail.
+    let mut params = HybridParams::for_dataset_with_sep(&ps, 4, 1.0, 1e-3).unwrap();
+    params.grids_per_bucket = (params.grids_per_bucket / 12).max(1);
+    let embedder = SeqEmbedder::new(params.clone());
+    let mut failures = 0usize;
+    for s in 0..trials {
+        match embedder.embed(&ps, 9000 + s) {
+            Err(EmbedError::CoverageFailure { .. }) => failures += 1,
+            Err(other) => panic!("unexpected error {other}"),
+            Ok(_) => {}
+        }
+    }
+    t.row(vec![
+        "starved (U/12)".into(),
+        params.grids_per_bucket.to_string(),
+        trials.to_string(),
+        failures.to_string(),
+        fnum(failures as f64 / trials as f64),
+        "-".into(),
+    ]);
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e16_budgeted_runs_rarely_fail_and_starved_runs_do() {
+        let tables = run(Scale::quick());
+        let rows = &tables[0].rows;
+        // δ = 1e-3 row: no failures expected in 60 trials.
+        let tight: usize = rows[1][3].parse().unwrap();
+        assert_eq!(tight, 0, "budgeted coverage failed");
+        // Starved row must fail visibly.
+        let starved: usize = rows[2][3].parse().unwrap();
+        assert!(
+            starved > 0,
+            "starved budget never failed — budget not binding"
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! E17 — §1.3.3: tree DPs on *distributed* trees. Pointer doubling
+//! evaluates root paths of an edge-list tree in `O(log depth)` MPC
+//! rounds — the \[17\] "massive trees" regime the paper points at (its
+//! own applications avoid this via per-point paths; see E13).
+
+use crate::{Scale, Table};
+use treeemb_core::mpc_tree::{root_paths, TreeEdge};
+use treeemb_mpc::{MpcConfig, Runtime};
+
+/// Runs E17.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let mut t = Table::new(
+        "E17",
+        "pointer doubling on distributed path graphs: rounds grow ~log2(depth), not ~depth",
+        &["depth", "rounds", "log2(depth) (ref)", "rounds/log2"],
+    );
+    let depths = scale.pick(vec![16u64, 64, 256], vec![16u64, 64, 256, 1024, 4096]);
+    for &depth in &depths {
+        let edges: Vec<TreeEdge> = (0..depth)
+            .map(|i| TreeEdge {
+                node: i,
+                parent: i.saturating_sub(1),
+                weight: 1.0,
+            })
+            .collect();
+        let mut rt = Runtime::new(MpcConfig::explicit(1 << 18, 1 << 15, 16).with_threads(4));
+        let dist = rt.distribute(edges).unwrap();
+        let _ = root_paths(&mut rt, dist).unwrap();
+        let rounds = rt.metrics().rounds();
+        let log2 = (depth as f64).log2();
+        t.row(vec![
+            depth.to_string(),
+            rounds.to_string(),
+            format!("{log2:.1}"),
+            format!("{:.2}", rounds as f64 / log2),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e17_rounds_grow_logarithmically() {
+        let tables = run(Scale::quick());
+        let rows = &tables[0].rows;
+        // Going from depth 16 to 256 (16x) should add only ~4 jumps'
+        // worth of rounds, far from 16x.
+        let r16: f64 = rows[0][1].parse().unwrap();
+        let r256: f64 = rows[2][1].parse().unwrap();
+        assert!(r256 < 3.0 * r16, "rounds {r16} -> {r256} not logarithmic");
+    }
+}

@@ -1,0 +1,92 @@
+//! E2 — Theorem 1: constant rounds, sublinear local space, near-linear
+//! total space, across an `n` sweep.
+
+use crate::{Scale, Table};
+use treeemb_core::pipeline::{run as run_pipeline, PipelineConfig};
+use treeemb_geom::generators;
+
+/// Runs E2.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let mut t = Table::new(
+        "E2",
+        "Theorem 1 resource profile vs n (rounds must stay flat; spaces grow ~linearly)",
+        &[
+            "n",
+            "d",
+            "JL",
+            "rounds",
+            "fjlt rounds",
+            "capacity/machine (words)",
+            "peak machine words",
+            "peak total words",
+            "machines",
+        ],
+    );
+    let ns = scale.pick(vec![32usize, 64, 128], vec![64usize, 128, 256, 512, 1024]);
+    for &n in &ns {
+        let ps = generators::uniform_cube(n, 8, 1 << 8, 7 + n as u64);
+        let cfg = PipelineConfig {
+            r: Some(4),
+            threads: 4,
+            ..Default::default()
+        };
+        let rep = run_pipeline(&ps, &cfg).expect("pipeline failed");
+        t.row(vec![
+            n.to_string(),
+            "8".into(),
+            if rep.jl_applied { "yes" } else { "no" }.into(),
+            rep.rounds.to_string(),
+            rep.fjlt_rounds.to_string(),
+            rep.capacity_words.to_string(),
+            rep.peak_machine_words.to_string(),
+            rep.peak_total_words.to_string(),
+            rep.machines.to_string(),
+        ]);
+    }
+    // High-dimensional block: the JL step must engage.
+    let ns_hd = scale.pick(vec![48usize], vec![64usize, 128, 256]);
+    for &n in &ns_hd {
+        let d = 512;
+        let ps = generators::noisy_line(n, d, 1 << 10, 1.0, 3 + n as u64);
+        let cfg = PipelineConfig {
+            xi: 0.75,
+            threads: 4,
+            ..Default::default()
+        };
+        let rep = run_pipeline(&ps, &cfg).expect("pipeline failed");
+        t.row(vec![
+            n.to_string(),
+            d.to_string(),
+            if rep.jl_applied { "yes" } else { "no" }.into(),
+            rep.rounds.to_string(),
+            rep.fjlt_rounds.to_string(),
+            rep.capacity_words.to_string(),
+            rep.peak_machine_words.to_string(),
+            rep.peak_total_words.to_string(),
+            rep.machines.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e2_rounds_stay_flat_in_n() {
+        let tables = run(Scale::quick());
+        let t = &tables[0];
+        let low_d: Vec<usize> = t
+            .rows
+            .iter()
+            .filter(|r| r[1] == "8")
+            .map(|r| r[3].parse().unwrap())
+            .collect();
+        assert!(low_d.len() >= 2);
+        assert!(
+            low_d.windows(2).all(|w| w[0] == w[1]),
+            "rounds grew with n: {low_d:?}"
+        );
+    }
+}

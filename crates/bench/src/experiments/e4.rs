@@ -1,0 +1,67 @@
+//! E4 — Lemma 1/3: the cut probability is `O(√d·‖p−q‖/w)` and does not
+//! depend on the bucket count `r`.
+
+use crate::{table::fnum, Scale, Table};
+use treeemb_partition::coverage::grids_needed;
+use treeemb_partition::stats::{grid_cut_probability, hybrid_cut_probability, lemma1_bound};
+
+/// Runs E4.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let d = 8usize;
+    let w = 64.0;
+    let trials = scale.pick(300, 2000);
+    let mut t = Table::new(
+        "E4",
+        "cut probability at scale w=64, d=8 (Lemma 1: ≤ O(√d·dist/w), independent of r)",
+        &[
+            "dist",
+            "bound √d·dist/w",
+            "r=2",
+            "r=4",
+            "r=8",
+            "grid (r=d eq.)",
+        ],
+    );
+    for &dist in &[1.0f64, 2.0, 4.0, 8.0, 16.0] {
+        let p = vec![10.0; d];
+        let mut q = p.clone();
+        q[0] += dist / 2.0;
+        q[1] += dist * (3.0f64).sqrt() / 2.0; // off-axis displacement
+        let mut cells = vec![fnum(dist), fnum(lemma1_bound(d, dist, w))];
+        for &r in &[2usize, 4, 8] {
+            let m = d / r;
+            let u = grids_needed(m, 10_000, 1e-4);
+            let est = hybrid_cut_probability(&p, &q, r, w, u, trials, 31 + r as u64);
+            cells.push(fnum(est));
+        }
+        cells.push(fnum(grid_cut_probability(&p, &q, w, trials, 77)));
+        t.row(cells);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e4_cut_probability_r_independent_and_bounded() {
+        let tables = run(Scale::quick());
+        for row in &tables[0].rows {
+            let bound: f64 = row[1].parse().unwrap();
+            let rs: Vec<f64> = row[2..5].iter().map(|c| c.parse().unwrap()).collect();
+            for &p in &rs {
+                assert!(
+                    p <= (4.0 * bound).min(1.0) + 0.05,
+                    "cut {p} vs bound {bound}"
+                );
+            }
+            // r-independence: max/min within a small constant (noisy MC).
+            let max = rs.iter().cloned().fold(0.0, f64::max);
+            let min = rs.iter().cloned().fold(1.0, f64::min);
+            if max > 0.05 {
+                assert!(max / min.max(1e-3) < 6.0, "r-dependence too strong: {rs:?}");
+            }
+        }
+    }
+}

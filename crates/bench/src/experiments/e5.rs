@@ -1,0 +1,46 @@
+//! E5 — Lemmas 4/5: random unit vectors avoid equator bands —
+//! `Pr[|u₁| ≤ t] = O(√d·t)` on both the sphere and the ball.
+
+use crate::{table::fnum, Scale, Table};
+use treeemb_partition::stats::equator_band_probability;
+
+/// Runs E5.
+pub fn run(scale: Scale) -> Vec<Table> {
+    let trials = scale.pick(4000, 40_000);
+    let mut t = Table::new(
+        "E5",
+        "equator-band probability Pr[|u1| <= t] (Lemma 4: sphere; Lemma 5: ball); bound O(√d·t)",
+        &["d", "t", "sphere", "ball", "√d·t", "sphere/(√d·t)"],
+    );
+    for &d in &[4usize, 16, 64, 256] {
+        for &band in &[0.02f64, 0.05, 0.1] {
+            let sphere = equator_band_probability(d, band, false, trials, 3 + d as u64);
+            let ball = equator_band_probability(d, band, true, trials, 5 + d as u64);
+            let bound = (d as f64).sqrt() * band;
+            t.row(vec![
+                d.to_string(),
+                fnum(band),
+                fnum(sphere),
+                fnum(ball),
+                fnum(bound),
+                fnum(sphere / bound),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e5_band_probability_below_constant_times_bound() {
+        let tables = run(Scale::quick());
+        for row in &tables[0].rows {
+            let ratio: f64 = row[5].parse().unwrap();
+            // Lemma 4's constant is ~ sqrt(2/pi) ≈ 0.8; allow slack.
+            assert!(ratio < 1.5, "constant {ratio} too large");
+        }
+    }
+}

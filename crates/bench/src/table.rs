@@ -1,0 +1,127 @@
+//! Result tables: markdown + CSV rendering.
+
+use std::fmt::Write as _;
+
+/// One experiment result table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Experiment id (e.g. `"E1"`).
+    pub id: String,
+    /// Human-readable caption.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of stringified cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row; panics on arity mismatch.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity mismatch in {}",
+            self.id
+        );
+        self.rows.push(cells);
+    }
+
+    /// Markdown rendering with aligned columns.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut s = String::new();
+        let _ = writeln!(s, "### {} — {}", self.id, self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            let mut l = String::from("|");
+            for (c, w) in cells.iter().zip(widths) {
+                let _ = write!(l, " {c:<w$} |");
+            }
+            l
+        };
+        let _ = writeln!(s, "{}", line(&self.headers, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{}|", "-".repeat(w + 2));
+        }
+        let _ = writeln!(s, "{sep}");
+        for row in &self.rows {
+            let _ = writeln!(s, "{}", line(row, &widths));
+        }
+        s
+    }
+
+    /// CSV rendering (no escaping; cells are plain numbers/idents).
+    pub fn to_csv(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(s, "{}", row.join(","));
+        }
+        s
+    }
+}
+
+/// Formats a float compactly for table cells.
+pub fn fnum(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1000.0 || x.abs() < 0.01 {
+        format!("{x:.3e}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_has_header_separator_and_rows() {
+        let mut t = Table::new("E0", "demo", &["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("### E0"));
+        assert!(md.contains("| a "));
+        assert!(md.lines().count() >= 4);
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let mut t = Table::new("E0", "demo", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("E0", "demo", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn fnum_ranges() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(1.5), "1.500");
+        assert!(fnum(123456.0).contains('e'));
+        assert!(fnum(0.0001).contains('e'));
+    }
+}

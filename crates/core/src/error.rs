@@ -1,0 +1,83 @@
+//! Error type shared by the embedding pipelines.
+
+use std::fmt;
+use treeemb_mpc::MpcError;
+
+/// Failures of the embedding algorithms. Theorem 1's algorithm "reports
+/// failure" (with probability `1/poly(n)`) rather than producing a bad
+/// tree; this type is that report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EmbedError {
+    /// A ball-partitioning grid sequence failed to cover a point within
+    /// its `U` budget (Lemma 7's low-probability event).
+    CoverageFailure {
+        /// Level at which coverage failed.
+        level: usize,
+        /// Bucket within the level.
+        bucket: usize,
+        /// Point left uncovered.
+        point: usize,
+    },
+    /// Input had no points.
+    EmptyInput,
+    /// The `min_sep` floor was not positive, so no level schedule exists.
+    BadSeparation(f64),
+    /// The input contains non-finite coordinates.
+    NonFiniteInput {
+        /// Offending point.
+        point: usize,
+    },
+    /// An MPC-layer failure (capacity, routing, …).
+    Mpc(MpcError),
+    /// Tree assembly from the distributed edge list failed (should be
+    /// unreachable; indicates a structural-hash collision).
+    TreeAssembly(String),
+}
+
+impl fmt::Display for EmbedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmbedError::CoverageFailure { level, bucket, point } => write!(
+                f,
+                "ball partitioning failed to cover point {point} (level {level}, bucket {bucket}); increase the grid budget U"
+            ),
+            EmbedError::EmptyInput => write!(f, "cannot embed an empty point set"),
+            EmbedError::BadSeparation(s) => write!(f, "minimum separation {s} must be positive"),
+            EmbedError::NonFiniteInput { point } => {
+                write!(f, "point {point} has a non-finite coordinate")
+            }
+            EmbedError::Mpc(e) => write!(f, "MPC failure: {e}"),
+            EmbedError::TreeAssembly(msg) => write!(f, "tree assembly failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EmbedError {}
+
+impl From<MpcError> for EmbedError {
+    fn from(e: MpcError) -> Self {
+        EmbedError::Mpc(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = EmbedError::CoverageFailure {
+            level: 3,
+            bucket: 1,
+            point: 42,
+        };
+        let s = e.to_string();
+        assert!(s.contains("point 42") && s.contains("level 3"));
+    }
+
+    #[test]
+    fn mpc_errors_convert() {
+        let e: EmbedError = MpcError::AlgorithmFailure("x".into()).into();
+        assert!(matches!(e, EmbedError::Mpc(_)));
+    }
+}

@@ -1,0 +1,312 @@
+//! Distributed tree operations via pointer doubling — the
+//! "MapReduce algorithms for massive trees" direction the paper points
+//! at in §1.3.3 (\[17\]): evaluating path quantities on a tree that lives
+//! *distributed as an edge list*, in `O(log depth)` MPC rounds, without
+//! ever assembling it on one machine.
+//!
+//! Our own applications get O(1) rounds because Algorithm 2 hands every
+//! point its root-to-leaf path; this module covers the general case —
+//! any distributed weighted tree — using the classic technique: every
+//! node keeps a pointer (initially its parent) plus accumulated weight
+//! and hop counters; each round, pointers jump to their pointer's
+//! pointer (one distributed hash join), halving the remaining distance
+//! to the root.
+
+use crate::error::EmbedError;
+use treeemb_mpc::primitives::{aggregate, join};
+use treeemb_mpc::{Dist, MpcError, Runtime, Words};
+
+/// One edge of a distributed tree: the root has `parent == node`,
+/// `weight = 0`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeEdge {
+    /// Node key.
+    pub node: u64,
+    /// Parent key (== `node` for the root).
+    pub parent: u64,
+    /// Weight of the edge to the parent.
+    pub weight: f64,
+}
+
+impl Words for TreeEdge {
+    fn words(&self) -> usize {
+        3
+    }
+}
+
+/// Result of [`root_paths`]: per node, its distance and hop count to
+/// the root.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RootPath {
+    /// Node key.
+    pub node: u64,
+    /// Sum of edge weights up to the root.
+    pub root_dist: f64,
+    /// Depth (root = 0).
+    pub depth: u32,
+}
+
+impl Words for RootPath {
+    fn words(&self) -> usize {
+        3
+    }
+}
+
+/// Pointer-doubling state: `acc_*` accumulate the path from `node` to
+/// `ptr`.
+#[derive(Debug, Clone)]
+struct State {
+    node: u64,
+    ptr: u64,
+    acc_w: f64,
+    acc_d: u32,
+}
+
+impl Words for State {
+    fn words(&self) -> usize {
+        4
+    }
+}
+
+/// Safety cap on doubling iterations (`depth < 2^40` always holds).
+const MAX_DOUBLING_STEPS: usize = 40;
+
+/// Computes every node's distance and depth to the root of a
+/// distributed tree in `O(log depth)` rounds (one hash join plus one
+/// aggregation per doubling step).
+///
+/// Fails with an [`MpcError::AlgorithmFailure`] if the edge list has no
+/// self-looping root or does not converge (a cycle).
+pub fn root_paths(rt: &mut Runtime, edges: Dist<TreeEdge>) -> Result<Dist<RootPath>, EmbedError> {
+    // Identify the root: the unique self-looping node.
+    let root = aggregate::max_by(rt, &edges, |e| {
+        if e.parent == e.node {
+            Some(e.node)
+        } else {
+            None
+        }
+    })
+    .map_err(EmbedError::Mpc)?
+    .flatten()
+    .ok_or_else(|| EmbedError::Mpc(MpcError::AlgorithmFailure("edge list has no root".into())))?;
+
+    // Initial state: pointer = parent, accumulators = the parent edge.
+    let mut states = rt
+        .map_local(edges, |_, shard| {
+            shard
+                .into_iter()
+                .map(|e| {
+                    let is_root = e.parent == e.node;
+                    State {
+                        node: e.node,
+                        ptr: e.parent,
+                        acc_w: if is_root { 0.0 } else { e.weight },
+                        acc_d: u32::from(!is_root),
+                    }
+                })
+                .collect::<Vec<State>>()
+        })
+        .map_err(EmbedError::Mpc)?;
+
+    let mut converged = false;
+    for _ in 0..MAX_DOUBLING_STEPS {
+        // Are any pointers still short of the root?
+        let pending = aggregate::max_by(rt, &states, |s| u64::from(s.ptr != root))
+            .map_err(EmbedError::Mpc)?
+            .unwrap_or(0);
+        if pending == 0 {
+            converged = true;
+            break;
+        }
+        // Jump: ptr <- ptr's ptr, accumulating ptr's path. The root's
+        // state has acc 0 and ptr = itself, so finished states are
+        // fixed points of the join.
+        let lookup = states.clone();
+        states = join::join_by_key(
+            rt,
+            states,
+            lookup,
+            |l: &State| l.ptr,
+            |r: &State| r.node,
+            |l, r| State {
+                node: l.node,
+                ptr: r.ptr,
+                acc_w: l.acc_w + r.acc_w,
+                // Saturating: on a (rejected) cyclic input the counter
+                // would double past u32 before the step cap trips.
+                acc_d: l.acc_d.saturating_add(r.acc_d),
+            },
+        )
+        .map_err(EmbedError::Mpc)?;
+    }
+    if !converged {
+        return Err(EmbedError::Mpc(MpcError::AlgorithmFailure(
+            "pointer doubling did not converge (cycle in the edge list?)".into(),
+        )));
+    }
+
+    rt.map_local(states, |_, shard| {
+        shard
+            .into_iter()
+            .map(|s| RootPath {
+                node: s.node,
+                root_dist: s.acc_w,
+                depth: s.acc_d,
+            })
+            .collect::<Vec<RootPath>>()
+    })
+    .map_err(EmbedError::Mpc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treeemb_mpc::MpcConfig;
+
+    fn runtime(machines: usize) -> Runtime {
+        Runtime::new(MpcConfig::explicit(1 << 14, 4096, machines).with_threads(4))
+    }
+
+    /// A path graph of `n` nodes: 0 <- 1 <- 2 ... (worst-case depth).
+    fn path_edges(n: u64) -> Vec<TreeEdge> {
+        (0..n)
+            .map(|i| TreeEdge {
+                node: i,
+                parent: i.saturating_sub(1),
+                weight: if i == 0 { 0.0 } else { i as f64 },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn path_graph_distances_and_depths() {
+        let mut rt = runtime(8);
+        let edges = rt.distribute(path_edges(64)).unwrap();
+        let paths = root_paths(&mut rt, edges).unwrap();
+        let mut out = rt.gather(paths);
+        out.sort_by_key(|p| p.node);
+        for (i, p) in out.iter().enumerate() {
+            let i = i as u64;
+            assert_eq!(p.depth, i as u32);
+            // Sum of 1..=i.
+            let expect = (i * (i + 1) / 2) as f64;
+            assert!((p.root_dist - expect).abs() < 1e-9, "node {i}");
+        }
+    }
+
+    #[test]
+    fn rounds_are_logarithmic_in_depth() {
+        // Depth 256 path: doubling needs ~8 jumps; each jump costs a
+        // join + a convergence reduce. Rounds must stay far below 256.
+        let mut rt = runtime(16);
+        let edges = rt.distribute(path_edges(256)).unwrap();
+        let _ = root_paths(&mut rt, edges).unwrap();
+        let rounds = rt.metrics().rounds();
+        assert!(rounds <= 4 * 10, "rounds = {rounds} not logarithmic");
+        assert!(rounds >= 8, "suspiciously few rounds: {rounds}");
+    }
+
+    #[test]
+    fn matches_host_tree_on_random_hst() {
+        use crate::params::HybridParams;
+        use crate::seq::SeqEmbedder;
+        let ps = treeemb_geom::generators::uniform_cube(40, 8, 512, 3);
+        let params = HybridParams::for_dataset(&ps, 4).unwrap();
+        let emb = SeqEmbedder::new(params).embed(&ps, 9).unwrap();
+        // Ship the tree as a distributed edge list (arena ids as keys).
+        let doc = emb.tree.to_document();
+        let edges: Vec<TreeEdge> = doc
+            .edges
+            .iter()
+            .map(|&(node, parent, weight, _)| TreeEdge {
+                node,
+                parent,
+                weight,
+            })
+            .collect();
+        let mut rt = runtime(8);
+        let dist = rt.distribute(edges).unwrap();
+        let paths = root_paths(&mut rt, dist).unwrap();
+        for p in rt.gather(paths) {
+            let id = p.node as usize;
+            let expect = emb.tree.weight_to_root(id);
+            assert!(
+                (p.root_dist - expect).abs() < 1e-9 * (1.0 + expect),
+                "node {id}: {} vs {expect}",
+                p.root_dist
+            );
+            assert_eq!(p.depth, emb.tree.node(id).depth);
+        }
+    }
+
+    #[test]
+    fn star_converges_in_one_jump_check() {
+        let mut rt = runtime(4);
+        let mut edges = vec![TreeEdge {
+            node: 0,
+            parent: 0,
+            weight: 0.0,
+        }];
+        edges.extend((1..50u64).map(|i| TreeEdge {
+            node: i,
+            parent: 0,
+            weight: 2.0,
+        }));
+        let dist = rt.distribute(edges).unwrap();
+        let paths = root_paths(&mut rt, dist).unwrap();
+        let out = rt.gather(paths);
+        assert!(out.iter().all(|p| p.depth <= 1));
+        assert!(out.iter().filter(|p| p.root_dist == 2.0).count() == 49);
+    }
+
+    #[test]
+    fn rootless_cycle_is_rejected() {
+        let mut rt = runtime(4);
+        let edges = vec![
+            TreeEdge {
+                node: 1,
+                parent: 2,
+                weight: 1.0,
+            },
+            TreeEdge {
+                node: 2,
+                parent: 1,
+                weight: 1.0,
+            },
+        ];
+        let dist = rt.distribute(edges).unwrap();
+        let err = root_paths(&mut rt, dist).unwrap_err();
+        assert!(matches!(
+            err,
+            EmbedError::Mpc(MpcError::AlgorithmFailure(_))
+        ));
+    }
+
+    #[test]
+    fn cycle_with_root_elsewhere_fails_to_converge() {
+        let mut rt = runtime(4);
+        let edges = vec![
+            TreeEdge {
+                node: 0,
+                parent: 0,
+                weight: 0.0,
+            },
+            TreeEdge {
+                node: 1,
+                parent: 2,
+                weight: 1.0,
+            },
+            TreeEdge {
+                node: 2,
+                parent: 1,
+                weight: 1.0,
+            },
+        ];
+        let dist = rt.distribute(edges).unwrap();
+        let err = root_paths(&mut rt, dist).unwrap_err();
+        assert!(
+            matches!(err, EmbedError::Mpc(MpcError::AlgorithmFailure(_))),
+            "{err:?}"
+        );
+    }
+}

@@ -1,0 +1,275 @@
+//! The full Theorem-1 pipeline: MPC FJLT → MPC hybrid partitioning.
+//!
+//! Given `n` points in `[Δ]^d`, the pipeline (paper §4, steps 1–4):
+//!
+//! 1. reduces the dimension to `k = Θ(ξ⁻² log n)` with the MPC FJLT
+//!    (skipped when `d` is already that small);
+//! 2. chooses `r = Θ(log log n)` buckets and the level schedule;
+//! 3. runs the MPC hybrid-partitioning embedding;
+//! 4. reports the tree together with the metered MPC costs, so the
+//!    Theorem-1 claims (O(1) rounds, `O((nd)^ε)` local space, near-linear
+//!    total space) are checkable numbers.
+
+use crate::error::EmbedError;
+use crate::mpc_embed::embed_mpc;
+use crate::params::HybridParams;
+use crate::seq::Embedding;
+use treeemb_fjlt::fjlt::FjltParams;
+use treeemb_fjlt::mpc::fjlt_mpc;
+use treeemb_geom::PointSet;
+use treeemb_mpc::{MpcConfig, Runtime};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// JL distortion parameter `ξ` (the paper uses a constant).
+    pub xi: f64,
+    /// Bucket count override; `None` = `Θ(log log n)` per the paper.
+    pub r: Option<usize>,
+    /// Master seed.
+    pub seed: u64,
+    /// Minimum pairwise distance of distinct input points (1 for `[Δ]^d`).
+    pub min_sep: f64,
+    /// Coverage failure probability budget.
+    pub fail_prob: f64,
+    /// Scalability exponent `ε` used when `capacity` is not given.
+    pub epsilon: f64,
+    /// Explicit per-machine capacity override (words).
+    pub capacity: Option<usize>,
+    /// Explicit machine count override.
+    pub machines: Option<usize>,
+    /// Executor threads.
+    pub threads: usize,
+    /// Skip the FJLT even for high-dimensional input (ablation runs).
+    pub skip_jl: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            xi: 0.45,
+            r: None,
+            seed: 0x7EED,
+            min_sep: 1.0,
+            fail_prob: 1e-3,
+            epsilon: 0.6,
+            capacity: None,
+            machines: None,
+            threads: 4,
+            skip_jl: false,
+        }
+    }
+}
+
+/// Everything the pipeline produced and measured.
+#[derive(Debug)]
+pub struct PipelineReport {
+    /// The tree embedding of the input points.
+    pub embedding: Embedding,
+    /// Hybrid schedule used.
+    pub params: HybridParams,
+    /// FJLT parameters, when dimension reduction ran.
+    pub fjlt: Option<FjltParams>,
+    /// Whether the JL step ran.
+    pub jl_applied: bool,
+    /// Communication rounds consumed (total).
+    pub rounds: usize,
+    /// Rounds spent in the FJLT phase.
+    pub fjlt_rounds: usize,
+    /// Peak resident words on any machine.
+    pub peak_machine_words: usize,
+    /// Peak cluster-wide resident words ("total space").
+    pub peak_total_words: usize,
+    /// Per-machine capacity the run was configured with.
+    pub capacity_words: usize,
+    /// Machine count.
+    pub machines: usize,
+}
+
+/// Runs the full Theorem-1 pipeline.
+pub fn run(ps: &PointSet, cfg: &PipelineConfig) -> Result<PipelineReport, EmbedError> {
+    if ps.is_empty() {
+        return Err(EmbedError::EmptyInput);
+    }
+    let n = ps.len();
+    let d = ps.dim();
+    let input_words = n * (d + 1);
+    // Pre-size capacity: machines must hold the broadcast grids
+    // (Lemma 8). At asymptotic n the fully scalable `N^ε` dominates the
+    // grid payload; at bench scales the payload's log factors win, so we
+    // take the max of the two (with 4x slack for the estimate).
+    let k_target = treeemb_fjlt::dense::target_dimension(n, cfg.xi);
+    let jl_planned = d > k_target && !cfg.skip_jl;
+    let working_dim_est = if jl_planned { k_target } else { d };
+    let r_est = cfg
+        .r
+        .unwrap_or_else(|| crate::params::pipeline_r(n, working_dim_est));
+    let diag_est = treeemb_geom::BoundingBox::of(ps).diagonal() * (1.0 + cfg.xi);
+    let grid_words_est = crate::params::estimate_grid_words(
+        n,
+        working_dim_est,
+        r_est,
+        diag_est,
+        cfg.min_sep * (1.0 - cfg.xi),
+        cfg.fail_prob,
+    );
+    let mut mpc_cfg = if let Some(cap) = cfg.capacity {
+        MpcConfig::explicit(input_words, cap, cfg.machines.unwrap_or(8))
+    } else {
+        let scalable = MpcConfig::fully_scalable(input_words, cfg.epsilon);
+        let cap = scalable
+            .capacity_words
+            .max(grid_words_est.saturating_mul(4));
+        scalable.with_capacity(cap)
+    };
+    if let (Some(m), None) = (cfg.machines, cfg.capacity) {
+        mpc_cfg = mpc_cfg.with_machines(m);
+    }
+    mpc_cfg = mpc_cfg.with_threads(cfg.threads);
+    let mut rt = Runtime::new(mpc_cfg);
+
+    // Step 1: dimension reduction, when it helps (d above the JL target).
+    let (working, fjlt_params, min_sep, fjlt_rounds) = if jl_planned {
+        let params = FjltParams::for_dataset(n, d, cfg.xi, cfg.seed ^ 0xF17);
+        let projected = fjlt_mpc(&mut rt, ps, &params)?;
+        let rounds = rt.metrics().rounds();
+        // JL contracts distances by at most (1 - ξ) w.h.p.
+        (
+            projected,
+            Some(params),
+            cfg.min_sep * (1.0 - cfg.xi),
+            rounds,
+        )
+    } else {
+        (ps.clone(), None, cfg.min_sep, 0)
+    };
+
+    // Step 2: schedule. The default r keeps bucket dimensions practical
+    // (see params::pipeline_r).
+    let r = cfg
+        .r
+        .unwrap_or_else(|| crate::params::pipeline_r(n, working.dim()));
+    let params = HybridParams::for_dataset_with_sep(&working, r, min_sep, cfg.fail_prob)?;
+
+    // Steps 3–4: embed and report.
+    let embedding = embed_mpc(&mut rt, &working, &params, cfg.seed)?;
+    let metrics = rt.metrics();
+    Ok(PipelineReport {
+        embedding,
+        params,
+        fjlt: fjlt_params,
+        jl_applied: fjlt_rounds > 0,
+        rounds: metrics.rounds(),
+        fjlt_rounds,
+        peak_machine_words: metrics.peak_machine_words(),
+        peak_total_words: metrics.peak_total_words(),
+        capacity_words: rt.capacity(),
+        machines: rt.num_machines(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treeemb_geom::{generators, metrics};
+
+    fn quick_cfg() -> PipelineConfig {
+        PipelineConfig {
+            capacity: Some(1 << 15),
+            machines: Some(8),
+            r: Some(4),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn low_dimensional_input_skips_jl() {
+        let ps = generators::uniform_cube(32, 8, 256, 1);
+        let report = run(&ps, &quick_cfg()).unwrap();
+        assert!(!report.jl_applied);
+        assert!(report.fjlt.is_none());
+        assert_eq!(report.embedding.tree.num_points(), 32);
+    }
+
+    #[test]
+    fn high_dimensional_input_takes_jl_path() {
+        let ps = generators::noisy_line(24, 200, 1 << 12, 1.0, 2);
+        let mut cfg = quick_cfg();
+        cfg.xi = 0.45;
+        cfg.r = None; // let the pipeline size r for the post-JL dimension
+        cfg.capacity = None; // auto-size for the grid payload
+        let report = run(&ps, &cfg).unwrap();
+        assert!(report.jl_applied);
+        let fp = report.fjlt.unwrap();
+        assert!(
+            fp.k < 200,
+            "target dimension {} not smaller than input",
+            fp.k
+        );
+    }
+
+    #[test]
+    fn skip_jl_forces_the_direct_path() {
+        let ps = generators::noisy_line(24, 200, 1 << 12, 1.0, 2);
+        let mut cfg = quick_cfg();
+        cfg.r = None;
+        cfg.capacity = None;
+        cfg.skip_jl = true;
+        let report = run(&ps, &cfg).unwrap();
+        assert!(!report.jl_applied, "skip_jl must suppress the FJLT");
+        assert!(report.fjlt.is_none());
+        // The hybrid schedule then runs on the raw 200-dim data, so the
+        // bucket count scales with d, not k.
+        assert!(report.params.r >= 200usize.div_ceil(5));
+        // And full domination holds (no JL contraction slack needed).
+        for i in 0..ps.len() {
+            for j in (i + 1)..ps.len() {
+                let e = metrics::dist(ps.point(i), ps.point(j));
+                assert!(report.embedding.tree_distance(i, j) >= e * (1.0 - 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_tree_dominates_within_jl_slack() {
+        // After JL, domination holds w.r.t. the *projected* metric, which
+        // is within (1±ξ) of the original: tree >= (1-ξ)·euclid.
+        let ps = generators::uniform_cube(20, 128, 1 << 10, 3);
+        let mut cfg = quick_cfg();
+        cfg.xi = 0.4;
+        cfg.r = None;
+        cfg.capacity = None;
+        let report = run(&ps, &cfg).unwrap();
+        for i in 0..ps.len() {
+            for j in (i + 1)..ps.len() {
+                let e = metrics::dist(ps.point(i), ps.point(j));
+                let t = report.embedding.tree_distance(i, j);
+                assert!(
+                    t >= (1.0 - cfg.xi) * e * (1.0 - 1e-9),
+                    "({i},{j}): {t} vs {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_do_not_grow_with_n() {
+        let mut rounds = Vec::new();
+        for n in [16usize, 48] {
+            let ps = generators::uniform_cube(n, 8, 256, 7);
+            let report = run(&ps, &quick_cfg()).unwrap();
+            rounds.push(report.rounds);
+        }
+        assert_eq!(rounds[0], rounds[1]);
+    }
+
+    #[test]
+    fn report_carries_meters() {
+        let ps = generators::uniform_cube(32, 8, 256, 9);
+        let report = run(&ps, &quick_cfg()).unwrap();
+        assert!(report.rounds > 0);
+        assert!(report.peak_machine_words > 0);
+        assert!(report.peak_total_words >= report.peak_machine_words);
+        assert_eq!(report.machines, 8);
+    }
+}

@@ -1,0 +1,298 @@
+//! MPC implementation of the FJLT (paper Algorithm 3 / Theorem 3).
+//!
+//! The transform runs in four phases on coordinate records
+//! `(point, index, value)`:
+//!
+//! 1. **D** — multiply each record by the sign `D_{jj}` (machine-local;
+//!    signs derive from the broadcast seed, so no table is shipped);
+//! 2. **H** — distributed Walsh–Hadamard transform: the `log₂ d`
+//!    butterfly stages are grouped into super-rounds of `b` bits. Each
+//!    super-round co-locates, per point, the `2^b` coordinates sharing
+//!    all index bits outside the group (one shuffle round), applies the
+//!    `b` stages locally, and re-emits. `⌈log₂(d)/b⌉ = O(1/ε)` rounds —
+//!    the same schedule as the MPC FFT of \[45\] that the paper invokes;
+//! 3. **P** — every coordinate fans out to the nonzeros of `P`'s column
+//!    (regenerated locally from the seed), and contributions are summed
+//!    by destination coordinate (one shuffle round + local fold);
+//! 4. **gather** — output records are collected into a `k`-dimensional
+//!    [`PointSet`].
+//!
+//! With the same [`FjltParams`], this computes the *same linear map* as
+//! [`crate::fjlt::Fjlt`] (exactly for `D`/`H`; `P`'s additions may
+//! reassociate, giving `≈1e-12` relative differences).
+
+use crate::fjlt::FjltParams;
+use std::collections::HashMap;
+use treeemb_geom::PointSet;
+use treeemb_linalg::random::mix2;
+use treeemb_linalg::sparse::fjlt_projection_column;
+use treeemb_mpc::{MpcError, MpcResult, Runtime, Words};
+
+/// One coordinate of one point in transit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Coord {
+    /// Point id.
+    pub pt: u32,
+    /// Coordinate index (input: `0..d_pad`; output: `0..k`).
+    pub idx: u32,
+    /// Value.
+    pub val: f64,
+}
+
+impl Words for Coord {
+    fn words(&self) -> usize {
+        2 // packed (pt, idx) + value
+    }
+}
+
+/// Applies the FJLT to `ps` on the simulated cluster. Returns the
+/// `k`-dimensional embedded point set.
+///
+/// `ps.dim()` must equal `params.d`.
+pub fn fjlt_mpc(rt: &mut Runtime, ps: &PointSet, params: &FjltParams) -> MpcResult<PointSet> {
+    assert_eq!(ps.dim(), params.d, "params/point-set dimension mismatch");
+    let n = ps.len();
+    if n == 0 {
+        return Ok(PointSet::new(params.k.max(1)));
+    }
+    if n > u32::MAX as usize {
+        return Err(MpcError::AlgorithmFailure(
+            "too many points for u32 ids".into(),
+        ));
+    }
+    let m = rt.num_machines();
+
+    // Load coordinate records (zeros omitted; they are implicit).
+    let mut records = Vec::with_capacity(n * params.d);
+    for (pt, p) in ps.iter().enumerate() {
+        for (j, &v) in p.iter().enumerate() {
+            if v != 0.0 {
+                records.push(Coord {
+                    pt: pt as u32,
+                    idx: j as u32,
+                    val: v,
+                });
+            }
+        }
+    }
+    let mut dist = rt.distribute(records)?;
+
+    // Phase D: machine-local sign flips.
+    let p_d = *params;
+    dist = rt.map_local(dist, move |_, mut shard| {
+        for r in &mut shard {
+            r.val *= p_d.d_sign(r.idx as usize);
+        }
+        shard
+    })?;
+
+    // Phase H: butterfly super-rounds.
+    let total_bits = params.d_pad.trailing_zeros();
+    // Group size: each class holds 2^b coords of one point; a machine
+    // must fit many classes, so bound 2^b by a quarter of capacity.
+    let b_max = (rt.capacity() / 8).max(2).ilog2();
+    let b = b_max.min(total_bits).max(1);
+    let mut lo = 0u32;
+    while lo < total_bits {
+        let hi = (lo + b).min(total_bits);
+        let width = hi - lo;
+        let blk = 1usize << width;
+        let group_mask: u32 = ((blk - 1) as u32) << lo;
+        let label = format!("fjlt:wht:{lo}..{hi}");
+        // Route: class = (pt, idx with group bits cleared).
+        let routed = rt.round(&label, dist, move |_, shard, em| {
+            for r in shard {
+                let class = ((r.pt as u64) << 32) | (r.idx & !group_mask) as u64;
+                let dest = (mix2(class, 0x87A5) % m as u64) as usize;
+                em.send(dest, r);
+            }
+            Vec::new()
+        })?;
+        // Local stages: gather each class into a dense block, butterfly.
+        dist = rt.map_local(routed, move |_, shard| {
+            let mut classes: std::collections::BTreeMap<(u32, u32), Vec<f64>> =
+                std::collections::BTreeMap::new();
+            for r in shard {
+                let rest = r.idx & !group_mask;
+                let slot = ((r.idx & group_mask) >> lo) as usize;
+                classes
+                    .entry((r.pt, rest))
+                    .or_insert_with(|| vec![0.0; blk])[slot] = r.val;
+            }
+            let mut out = Vec::with_capacity(classes.len() * blk);
+            for ((pt, rest), mut vals) in classes {
+                treeemb_linalg::wht::wht_inplace(&mut vals);
+                for (t, v) in vals.into_iter().enumerate() {
+                    if v != 0.0 {
+                        out.push(Coord {
+                            pt,
+                            idx: rest | ((t as u32) << lo),
+                            val: v,
+                        });
+                    }
+                }
+            }
+            out
+        })?;
+        lo = hi;
+    }
+
+    // Phase P: sparse fan-out + aggregation.
+    let p_p = *params;
+    let routed = rt.round("fjlt:project", dist, move |_, shard, em| {
+        // Per-machine column cache: distinct idx values repeat across
+        // points on the same machine.
+        let mut cache: HashMap<u32, Vec<(u32, f64)>> = HashMap::new();
+        for r in shard {
+            let col = cache.entry(r.idx).or_insert_with(|| {
+                fjlt_projection_column(p_p.k, p_p.d_pad, p_p.q, p_p.p_seed(), r.idx as usize)
+            });
+            for &(i, pij) in col.iter() {
+                let key = ((r.pt as u64) << 32) | i as u64;
+                let dest = (mix2(key, 0x9B0B) % m as u64) as usize;
+                em.send(
+                    dest,
+                    Coord {
+                        pt: r.pt,
+                        idx: i,
+                        val: pij * r.val,
+                    },
+                );
+            }
+        }
+        Vec::new()
+    })?;
+    let scale = params.output_scale();
+    let summed = rt.map_local(routed, move |_, shard| {
+        let mut acc: std::collections::BTreeMap<(u32, u32), f64> =
+            std::collections::BTreeMap::new();
+        for r in shard {
+            *acc.entry((r.pt, r.idx)).or_insert(0.0) += r.val;
+        }
+        acc.into_iter()
+            .map(|((pt, idx), val)| Coord {
+                pt,
+                idx,
+                val: val * scale,
+            })
+            .collect()
+    })?;
+
+    // Gather into a dense k-dimensional point set.
+    let out_records = rt.gather(summed);
+    let mut flat = vec![0.0; n * params.k];
+    for r in out_records {
+        flat[r.pt as usize * params.k + r.idx as usize] = r.val;
+    }
+    Ok(PointSet::from_flat(params.k, flat))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fjlt::Fjlt;
+    use treeemb_geom::generators;
+    use treeemb_mpc::MpcConfig;
+
+    fn runtime(cap: usize, machines: usize) -> Runtime {
+        Runtime::new(MpcConfig::explicit(1 << 16, cap, machines).with_threads(4))
+    }
+
+    #[test]
+    fn matches_sequential_transform() {
+        let ps = generators::uniform_cube(12, 24, 256, 3);
+        let params = FjltParams::explicit(24, 8, 0.5, 42);
+        let seq = Fjlt::new(params).apply(&ps);
+        let mut rt = runtime(4096, 8);
+        let par = fjlt_mpc(&mut rt, &ps, &params).unwrap();
+        assert_eq!(par.len(), 12);
+        assert_eq!(par.dim(), 8);
+        for i in 0..ps.len() {
+            for j in 0..8 {
+                let (a, b) = (seq.point(i)[j], par.point(i)[j]);
+                assert!(
+                    (a - b).abs() <= 1e-9 * (1.0 + a.abs()),
+                    "({i},{j}): {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_sequential_across_machine_counts() {
+        let ps = generators::uniform_cube(6, 16, 64, 5);
+        let params = FjltParams::explicit(16, 4, 0.7, 9);
+        let seq = Fjlt::new(params).apply(&ps);
+        for machines in [1usize, 3, 16] {
+            let mut rt = runtime(8192, machines);
+            let par = fjlt_mpc(&mut rt, &ps, &params).unwrap();
+            for i in 0..ps.len() {
+                for j in 0..4 {
+                    assert!(
+                        (seq.point(i)[j] - par.point(i)[j]).abs() < 1e-9,
+                        "machines {machines}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_count_is_constant_in_n() {
+        let params = FjltParams::explicit(32, 8, 0.5, 1);
+        let mut rounds = Vec::new();
+        for n in [8usize, 32, 128] {
+            let ps = generators::uniform_cube(n, 32, 512, 7);
+            let mut rt = runtime(1 << 14, 16);
+            let _ = fjlt_mpc(&mut rt, &ps, &params).unwrap();
+            rounds.push(rt.metrics().rounds());
+        }
+        assert_eq!(rounds[0], rounds[1]);
+        assert_eq!(rounds[1], rounds[2]);
+    }
+
+    #[test]
+    fn wht_rounds_shrink_with_capacity() {
+        let ps = generators::uniform_cube(8, 64, 128, 2);
+        let params = FjltParams::explicit(64, 8, 0.5, 3);
+        // Lenient: this test only cares about WHT round counts, and the
+        // P fan-out legitimately overloads a 64-word machine.
+        let mut small = Runtime::new(
+            MpcConfig::explicit(1 << 16, 64, 64)
+                .with_threads(4)
+                .lenient(),
+        );
+        let _ = fjlt_mpc(&mut small, &ps, &params).unwrap();
+        let mut big = runtime(1 << 14, 64);
+        let _ = fjlt_mpc(&mut big, &ps, &params).unwrap();
+        let small_wht = small.metrics().rounds_labeled("fjlt:wht");
+        let big_wht = big.metrics().rounds_labeled("fjlt:wht");
+        assert!(small_wht > big_wht, "{small_wht} vs {big_wht}");
+        assert_eq!(
+            big_wht, 1,
+            "big capacity should do the WHT in one super-round"
+        );
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let ps = PointSet::new(4);
+        let params = FjltParams::explicit(4, 2, 0.5, 1);
+        let mut rt = runtime(1024, 4);
+        let out = fjlt_mpc(&mut rt, &ps, &params).unwrap();
+        assert_eq!(out.len(), 0);
+    }
+
+    #[test]
+    fn preserves_distances_like_sequential() {
+        let ps = generators::uniform_cube(16, 48, 1024, 11);
+        let params = FjltParams::for_dataset(16, 48, 0.45, 13);
+        let mut rt = runtime(1 << 15, 8);
+        let out = fjlt_mpc(&mut rt, &ps, &params).unwrap();
+        let report = crate::audit::distortion_report(&ps, &out);
+        assert!(
+            report.max_expansion < 2.0 && report.max_contraction > 0.5,
+            "{report:?}"
+        );
+    }
+}

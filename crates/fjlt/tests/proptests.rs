@@ -1,0 +1,81 @@
+//! Property tests for the JL layer: linearity, seed determinism, and
+//! sequential/MPC agreement on arbitrary inputs.
+
+use proptest::prelude::*;
+use treeemb_fjlt::fjlt::{Fjlt, FjltParams};
+use treeemb_fjlt::mpc::fjlt_mpc;
+use treeemb_geom::PointSet;
+use treeemb_mpc::{MpcConfig, Runtime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn fjlt_is_linear(
+        seed in 0u64..10_000,
+        a in proptest::collection::vec(-10f64..10.0, 16),
+        b in proptest::collection::vec(-10f64..10.0, 16),
+        alpha in -3f64..3.0,
+    ) {
+        let f = Fjlt::new(FjltParams::explicit(16, 6, 0.5, seed));
+        let fa = f.apply_vec(&a);
+        let fb = f.apply_vec(&b);
+        let combo: Vec<f64> = a.iter().zip(&b).map(|(x, y)| alpha * x + y).collect();
+        let fc = f.apply_vec(&combo);
+        for i in 0..6 {
+            let expect = alpha * fa[i] + fb[i];
+            prop_assert!(
+                (fc[i] - expect).abs() <= 1e-8 * (1.0 + expect.abs()),
+                "coordinate {i}: {} vs {expect}", fc[i]
+            );
+        }
+    }
+
+    #[test]
+    fn zero_maps_to_zero(seed in 0u64..10_000) {
+        let f = Fjlt::new(FjltParams::explicit(8, 4, 0.5, seed));
+        let y = f.apply_vec(&[0.0; 8]);
+        prop_assert!(y.iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn mpc_agrees_with_sequential_on_arbitrary_input(
+        seed in 0u64..10_000,
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-20f64..20.0, 8),
+            1..10,
+        ),
+        machines in 1usize..12,
+    ) {
+        let ps = PointSet::from_rows(&rows);
+        let params = FjltParams::explicit(8, 4, 0.6, seed);
+        let seq = Fjlt::new(params).apply(&ps);
+        let mut rt = Runtime::new(
+            MpcConfig::explicit(1 << 12, 1 << 12, machines).with_threads(2),
+        );
+        let par = fjlt_mpc(&mut rt, &ps, &params).unwrap();
+        for i in 0..ps.len() {
+            for j in 0..4 {
+                let (a, b) = (seq.point(i)[j], par.point(i)[j]);
+                prop_assert!((a - b).abs() <= 1e-9 * (1.0 + a.abs()), "({i},{j}): {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed_and_sensitive_to_it(
+        seed in 0u64..10_000,
+        x in proptest::collection::vec(-5f64..5.0, 32),
+    ) {
+        let p1 = FjltParams::explicit(32, 8, 0.4, seed);
+        let f1 = Fjlt::new(p1);
+        let f1b = Fjlt::new(p1);
+        prop_assert_eq!(f1.apply_vec(&x), f1b.apply_vec(&x));
+        // A different seed gives a different map (except on the zero
+        // vector or vanishing-probability coincidences).
+        if x.iter().any(|v| v.abs() > 0.5) {
+            let f2 = Fjlt::new(FjltParams::explicit(32, 8, 0.4, seed ^ 0xDEAD));
+            prop_assert_ne!(f1.apply_vec(&x), f2.apply_vec(&x));
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Axis-aligned bounding boxes.
+
+use crate::PointSet;
+
+/// An axis-aligned bounding box in `R^d`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundingBox {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl BoundingBox {
+    /// The tightest box containing every point of `ps`.
+    ///
+    /// # Panics
+    /// Panics if `ps` is empty.
+    pub fn of(ps: &PointSet) -> Self {
+        assert!(!ps.is_empty(), "bounding box of an empty set");
+        let d = ps.dim();
+        let mut lo = ps.point(0).to_vec();
+        let mut hi = ps.point(0).to_vec();
+        for p in ps.iter().skip(1) {
+            for j in 0..d {
+                if p[j] < lo[j] {
+                    lo[j] = p[j];
+                }
+                if p[j] > hi[j] {
+                    hi[j] = p[j];
+                }
+            }
+        }
+        Self { lo, hi }
+    }
+
+    /// Lower corner.
+    pub fn lo(&self) -> &[f64] {
+        &self.lo
+    }
+
+    /// Upper corner.
+    pub fn hi(&self) -> &[f64] {
+        &self.hi
+    }
+
+    /// Dimension of the box.
+    pub fn dim(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Maximum side length over all axes (the "width" of the box).
+    pub fn width(&self) -> f64 {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(a, b)| b - a)
+            .fold(0.0, f64::max)
+    }
+
+    /// Euclidean length of the box diagonal — an upper bound on the
+    /// diameter of any contained point set.
+    pub fn diagonal(&self) -> f64 {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(a, b)| (b - a) * (b - a))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// True if `p` lies inside the closed box.
+    pub fn contains(&self, p: &[f64]) -> bool {
+        p.iter()
+            .zip(self.lo.iter().zip(&self.hi))
+            .all(|(x, (a, b))| *a <= *x && *x <= *b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PointSet {
+        PointSet::from_rows(&[vec![0.0, 5.0], vec![2.0, 1.0], vec![1.0, 3.0]])
+    }
+
+    #[test]
+    fn corners_are_componentwise_extremes() {
+        let b = BoundingBox::of(&sample());
+        assert_eq!(b.lo(), &[0.0, 1.0]);
+        assert_eq!(b.hi(), &[2.0, 5.0]);
+    }
+
+    #[test]
+    fn width_is_max_side() {
+        let b = BoundingBox::of(&sample());
+        assert_eq!(b.width(), 4.0);
+    }
+
+    #[test]
+    fn diagonal_dominates_diameter() {
+        let ps = sample();
+        let b = BoundingBox::of(&ps);
+        assert!(b.diagonal() >= crate::metrics::diameter(&ps));
+    }
+
+    #[test]
+    fn contains_boundary_points() {
+        let b = BoundingBox::of(&sample());
+        assert!(b.contains(&[0.0, 1.0]));
+        assert!(b.contains(&[1.0, 2.0]));
+        assert!(!b.contains(&[3.0, 3.0]));
+    }
+}

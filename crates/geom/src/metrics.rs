@@ -1,0 +1,115 @@
+//! Euclidean metric helpers: distances, pairwise extremes, aspect ratio.
+
+use crate::PointSet;
+
+/// Squared Euclidean distance between two coordinate slices.
+///
+/// # Panics
+/// Panics (in debug builds) if the slices disagree on length.
+#[inline]
+pub fn sq_dist(p: &[f64], q: &[f64]) -> f64 {
+    debug_assert_eq!(p.len(), q.len());
+    p.iter().zip(q).map(|(a, b)| (a - b) * (a - b)).sum()
+}
+
+/// Euclidean distance between two coordinate slices.
+#[inline]
+pub fn dist(p: &[f64], q: &[f64]) -> f64 {
+    sq_dist(p, q).sqrt()
+}
+
+/// Euclidean norm of a vector.
+#[inline]
+pub fn norm(p: &[f64]) -> f64 {
+    p.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Minimum and maximum pairwise distance over a point set, ignoring
+/// coincident pairs for the minimum. `O(n^2 d)` — intended for audits and
+/// experiment harnesses, not the embedding hot path.
+///
+/// Returns `None` if the set has fewer than two points or all points
+/// coincide.
+pub fn pairwise_extremes(ps: &PointSet) -> Option<(f64, f64)> {
+    let n = ps.len();
+    if n < 2 {
+        return None;
+    }
+    let mut min = f64::INFINITY;
+    let mut max: f64 = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = dist(ps.point(i), ps.point(j));
+            if d > 0.0 && d < min {
+                min = d;
+            }
+            if d > max {
+                max = d;
+            }
+        }
+    }
+    if min.is_finite() {
+        Some((min, max))
+    } else {
+        None
+    }
+}
+
+/// The aspect ratio `Δ` of a point set: the ratio between the largest and
+/// the smallest non-zero interpoint distance (paper §1, footnote 1).
+///
+/// Returns `None` when fewer than two distinct points exist.
+pub fn aspect_ratio(ps: &PointSet) -> Option<f64> {
+    pairwise_extremes(ps).map(|(min, max)| max / min)
+}
+
+/// Diameter (maximum pairwise distance) of a point set; zero for sets
+/// with fewer than two points.
+pub fn diameter(ps: &PointSet) -> f64 {
+    pairwise_extremes(ps).map(|(_, max)| max).unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_matches_hand_computation() {
+        assert!((dist(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(sq_dist(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn norm_of_unit_axis() {
+        assert!((norm(&[0.0, 1.0, 0.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extremes_on_collinear_points() {
+        let ps = PointSet::from_rows(&[vec![0.0], vec![1.0], vec![4.0]]);
+        let (min, max) = pairwise_extremes(&ps).unwrap();
+        assert_eq!(min, 1.0);
+        assert_eq!(max, 4.0);
+    }
+
+    #[test]
+    fn aspect_ratio_ignores_duplicates() {
+        let ps = PointSet::from_rows(&[vec![0.0], vec![0.0], vec![2.0], vec![3.0]]);
+        // min non-zero distance 1, max 3.
+        assert_eq!(aspect_ratio(&ps).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn degenerate_sets_have_no_aspect_ratio() {
+        let ps = PointSet::from_rows(&[vec![1.0], vec![1.0]]);
+        assert!(aspect_ratio(&ps).is_none());
+        let single = PointSet::from_rows(&[vec![1.0]]);
+        assert!(aspect_ratio(&single).is_none());
+    }
+
+    #[test]
+    fn diameter_zero_for_singleton() {
+        let ps = PointSet::from_rows(&[vec![7.0, 7.0]]);
+        assert_eq!(diameter(&ps), 0.0);
+    }
+}

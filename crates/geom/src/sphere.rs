@@ -1,0 +1,131 @@
+//! Uniform sampling from unit spheres and balls.
+//!
+//! Used by the Lemma 4/5 experiments ("a random vector is unlikely to lie
+//! near the equator") and by the Gaussian-cluster workload generators.
+
+use rand::Rng;
+use rand_distr_normal::StandardNormalBoxMuller;
+
+/// A minimal Box–Muller standard normal sampler so we depend only on the
+/// `rand` core crate (the `rand_distr` companion crate is outside the
+/// allowed dependency set).
+mod rand_distr_normal {
+    use rand::Rng;
+
+    /// Draws standard normal variates via the Box–Muller transform,
+    /// caching the second variate of each pair.
+    #[derive(Debug, Default, Clone)]
+    pub struct StandardNormalBoxMuller {
+        cached: Option<f64>,
+    }
+
+    impl StandardNormalBoxMuller {
+        /// Creates a sampler with an empty cache.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Next standard normal variate.
+        pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+            if let Some(z) = self.cached.take() {
+                return z;
+            }
+            // u1 in (0, 1] to keep ln(u1) finite.
+            let u1: f64 = 1.0 - rng.gen::<f64>();
+            let u2: f64 = rng.gen();
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f64::consts::PI * u2;
+            self.cached = Some(r * theta.sin());
+            r * theta.cos()
+        }
+    }
+}
+
+/// Fills `out` with independent standard normal variates.
+pub fn gaussian_vector<R: Rng + ?Sized>(rng: &mut R, out: &mut [f64]) {
+    let mut normal = StandardNormalBoxMuller::new();
+    for x in out.iter_mut() {
+        *x = normal.sample(rng);
+    }
+}
+
+/// Samples a point uniformly from the surface of the unit sphere in `R^d`
+/// (normalize a standard Gaussian vector).
+pub fn unit_sphere<R: Rng + ?Sized>(rng: &mut R, d: usize) -> Vec<f64> {
+    assert!(d >= 1);
+    let mut v = vec![0.0; d];
+    loop {
+        gaussian_vector(rng, &mut v);
+        let n = crate::metrics::norm(&v);
+        if n > 1e-12 {
+            for x in &mut v {
+                *x /= n;
+            }
+            return v;
+        }
+    }
+}
+
+/// Samples a point uniformly from the volume of the unit ball in `R^d`
+/// (sphere direction scaled by `U^{1/d}`).
+pub fn unit_ball<R: Rng + ?Sized>(rng: &mut R, d: usize) -> Vec<f64> {
+    let mut v = unit_sphere(rng, d);
+    let radius = rng.gen::<f64>().powf(1.0 / d as f64);
+    for x in &mut v {
+        *x *= radius;
+    }
+    v
+}
+
+/// A reusable standard normal sampler (exposed for generator hot loops).
+pub type Normal = StandardNormalBoxMuller;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::norm;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn sphere_samples_have_unit_norm() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let v = unit_sphere(&mut rng, 8);
+            assert!((norm(&v) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ball_samples_lie_inside() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let v = unit_ball(&mut rng, 5);
+            assert!(norm(&v) <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v = vec![0.0; 20_000];
+        gaussian_vector(&mut rng, &mut v);
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / v.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn sphere_coordinates_are_symmetric() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut pos = 0usize;
+        let trials = 4000;
+        for _ in 0..trials {
+            if unit_sphere(&mut rng, 3)[0] > 0.0 {
+                pos += 1;
+            }
+        }
+        let frac = pos as f64 / trials as f64;
+        assert!((frac - 0.5).abs() < 0.05, "frac {frac}");
+    }
+}

@@ -1,0 +1,104 @@
+//! Unary-chain compression.
+//!
+//! Algorithm 2's trees carry every level of every point's path, so long
+//! unary chains (clusters that do not split for many levels) are
+//! common — the sequential builder truncates them, the MPC tree does
+//! not. [`Hst::compress`] collapses every maximal unary chain into a
+//! single edge carrying the chain's total weight: the tree metric is
+//! *exactly* preserved (path sums are unchanged) while node counts drop
+//! to `O(n)`.
+
+use crate::builder::HstBuilder;
+use crate::tree::{Hst, NodeId};
+
+impl Hst {
+    /// Returns an equivalent tree with every unary chain collapsed.
+    ///
+    /// A node is kept iff it is the root, has ≥ 2 children, or is a
+    /// leaf; edges to kept nodes accumulate the weights of the removed
+    /// chain nodes. `dist_T` is identical on all point pairs.
+    pub fn compress(&self) -> Hst {
+        let mut b = HstBuilder::new();
+        let new_root = b.add_root();
+        // DFS from the root; for each kept node, walk each child chain
+        // down to the next kept node, summing weights.
+        let mut stack: Vec<(NodeId, NodeId)> = vec![(self.root, new_root)];
+        while let Some((old, new_parent)) = stack.pop() {
+            for &child in self.children(old) {
+                // Walk the unary chain starting at `child`.
+                let mut cur = child;
+                let mut weight = self.node(cur).weight_to_parent;
+                while self.children(cur).len() == 1 && self.node(cur).point.is_none() {
+                    let next = self.children(cur)[0];
+                    weight += self.node(next).weight_to_parent;
+                    cur = next;
+                }
+                let id = b.add_child(new_parent, weight, self.node(cur).point);
+                stack.push((cur, id));
+            }
+        }
+        b.finish().expect("compression preserves validity")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// root -> a -> b -> c(point 0); root -> d(point 1).
+    fn chainy() -> Hst {
+        let mut b = HstBuilder::new();
+        let root = b.add_root();
+        let a = b.add_child(root, 1.0, None);
+        let bb = b.add_child(a, 2.0, None);
+        b.add_child(bb, 4.0, Some(0));
+        b.add_child(root, 3.0, Some(1));
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn chains_collapse_and_metric_survives() {
+        let t = chainy();
+        let c = t.compress();
+        assert_eq!(c.num_nodes(), 3, "root + two leaves");
+        assert_eq!(c.num_points(), 2);
+        assert_eq!(c.distance(0, 1), t.distance(0, 1));
+        assert_eq!(c.weight_to_root(c.leaf_of(0)), 7.0);
+    }
+
+    #[test]
+    fn branching_nodes_are_kept() {
+        let mut b = HstBuilder::new();
+        let root = b.add_root();
+        let mid = b.add_child(root, 1.0, None); // unary from root...
+        let split = b.add_child(mid, 1.0, None); // ...until here (2 kids)
+        b.add_child(split, 1.0, Some(0));
+        b.add_child(split, 1.0, Some(1));
+        let t = b.finish().unwrap();
+        let c = t.compress();
+        // root, split, 2 leaves.
+        assert_eq!(c.num_nodes(), 4);
+        assert_eq!(c.distance(0, 1), t.distance(0, 1));
+    }
+
+    #[test]
+    fn compressing_a_compact_tree_is_identity_shaped() {
+        let t = chainy().compress();
+        let again = t.compress();
+        assert_eq!(again.num_nodes(), t.num_nodes());
+        assert_eq!(again.distance(0, 1), t.distance(0, 1));
+    }
+
+    #[test]
+    fn leaf_carrying_chain_nodes_are_kept() {
+        // A point on an internal chain node must not be collapsed away.
+        let mut b = HstBuilder::new();
+        let root = b.add_root();
+        let a = b.add_child(root, 1.0, Some(0)); // leafish but has a child
+        b.add_child(a, 2.0, Some(1));
+        let t = b.finish().unwrap();
+        let c = t.compress();
+        assert_eq!(c.num_points(), 2);
+        assert_eq!(c.distance(0, 1), 2.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Human-readable renderings of trees (debugging, Figure-1-style
+//! inspection, and documentation examples).
+
+use crate::tree::Hst;
+use std::fmt::Write;
+
+impl Hst {
+    /// Graphviz DOT rendering. Leaves are labeled with their point ids,
+    /// edges with their weights.
+    pub fn to_dot(&self) -> String {
+        let mut s = String::from("digraph hst {\n  rankdir=TB;\n");
+        for id in self.node_ids() {
+            let node = self.node(id);
+            match node.point {
+                Some(p) => {
+                    let _ = writeln!(s, "  n{id} [label=\"p{p}\", shape=box];");
+                }
+                None => {
+                    let _ = writeln!(s, "  n{id} [label=\"\", shape=circle];");
+                }
+            }
+            if let Some(parent) = node.parent {
+                let _ = writeln!(
+                    s,
+                    "  n{parent} -> n{id} [label=\"{:.3}\"];",
+                    node.weight_to_parent
+                );
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+
+    /// Indented ASCII rendering, one node per line.
+    pub fn to_ascii(&self) -> String {
+        let mut s = String::new();
+        let mut stack = vec![(self.root(), 0usize)];
+        while let Some((id, indent)) = stack.pop() {
+            let node = self.node(id);
+            let pad = "  ".repeat(indent);
+            match node.point {
+                Some(p) => {
+                    let _ = writeln!(s, "{pad}p{p} (w={:.3})", node.weight_to_parent);
+                }
+                None if node.parent.is_some() => {
+                    let _ = writeln!(s, "{pad}* (w={:.3})", node.weight_to_parent);
+                }
+                None => {
+                    let _ = writeln!(s, "{pad}root");
+                }
+            }
+            // Reverse for natural top-down order when popping.
+            for &c in node.children.iter().rev() {
+                stack.push((c, indent + 1));
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::HstBuilder;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let mut b = HstBuilder::new();
+        let r = b.add_root();
+        let c = b.add_child(r, 2.5, None);
+        b.add_child(c, 1.0, Some(0));
+        let t = b.finish().unwrap();
+        let dot = t.to_dot();
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("p0"));
+        assert!(dot.contains("2.500"));
+        assert_eq!(dot.matches("->").count(), 2);
+    }
+
+    #[test]
+    fn ascii_indents_by_depth() {
+        let mut b = HstBuilder::new();
+        let r = b.add_root();
+        let c = b.add_child(r, 2.0, None);
+        b.add_child(c, 1.0, Some(0));
+        let t = b.finish().unwrap();
+        let art = t.to_ascii();
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("root"));
+        assert!(lines[2].starts_with("    p0"));
+    }
+}

@@ -1,0 +1,232 @@
+//! Constant-time distance oracle over a tree.
+//!
+//! [`Hst::distance`] walks to the LCA (`O(height)` per query), which is
+//! fine for audits but not for query-heavy applications (nearest-median
+//! assignment, all-pairs sketches). [`DistanceOracle`] preprocesses the
+//! tree in `O(n log n)` — Euler tour + sparse-table range-minimum for
+//! LCA, plus root-weight prefix sums — and then answers
+//! `dist_T(p, q) = w(p) + w(q) − 2·w(lca)` in O(1).
+
+use crate::tree::{Hst, NodeId, PointId};
+
+/// Preprocessed O(1)-query tree-distance oracle.
+///
+/// ```
+/// use treeemb_hst::{DistanceOracle, HstBuilder};
+/// let mut b = HstBuilder::new();
+/// let root = b.add_root();
+/// let a = b.add_child(root, 2.0, None);
+/// b.add_child(a, 1.0, Some(0));
+/// b.add_child(root, 4.0, Some(1));
+/// let tree = b.finish().unwrap();
+/// let oracle = DistanceOracle::new(&tree);
+/// assert_eq!(oracle.distance(0, 1), tree.distance(0, 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DistanceOracle {
+    /// Euler tour of node ids (2n−1 entries).
+    tour: Vec<NodeId>,
+    /// Depth of each tour entry (for the RMQ).
+    tour_depth: Vec<u32>,
+    /// First tour position of each node.
+    first_pos: Vec<usize>,
+    /// Sparse table over tour positions: `table[k][i]` = position of the
+    /// minimum-depth entry in `tour[i..i+2^k]`.
+    table: Vec<Vec<u32>>,
+    /// Sum of edge weights from each node up to the root.
+    weight_to_root: Vec<f64>,
+    /// Leaf node of each point.
+    leaf_of: Vec<NodeId>,
+}
+
+impl DistanceOracle {
+    /// Builds the oracle for a tree.
+    pub fn new(t: &Hst) -> Self {
+        let n = t.num_nodes();
+        // Iterative Euler tour.
+        let mut tour = Vec::with_capacity(2 * n);
+        let mut tour_depth = Vec::with_capacity(2 * n);
+        let mut first_pos = vec![usize::MAX; n];
+        let mut weight_to_root = vec![0.0; n];
+        // Stack frames: (node, next child index).
+        let mut stack: Vec<(NodeId, usize)> = vec![(t.root(), 0)];
+        while let Some(&mut (id, ref mut next)) = stack.last_mut() {
+            if *next == 0 {
+                if first_pos[id] == usize::MAX {
+                    first_pos[id] = tour.len();
+                }
+                tour.push(id);
+                tour_depth.push(t.node(id).depth);
+                if let Some(parent) = t.parent(id) {
+                    weight_to_root[id] = weight_to_root[parent] + t.node(id).weight_to_parent;
+                }
+            }
+            let children = t.children(id);
+            if *next < children.len() {
+                let c = children[*next];
+                *next += 1;
+                stack.push((c, 0));
+            } else {
+                stack.pop();
+                if let Some(&(pid, _)) = stack.last() {
+                    tour.push(pid);
+                    tour_depth.push(t.node(pid).depth);
+                }
+            }
+        }
+
+        // Sparse table (positions as u32 — tours beyond 4G entries are
+        // out of scope).
+        let m = tour.len();
+        let levels = (usize::BITS - m.leading_zeros()) as usize;
+        let mut table: Vec<Vec<u32>> = Vec::with_capacity(levels);
+        table.push((0..m as u32).collect());
+        let mut k = 1usize;
+        while (1 << k) <= m {
+            let prev = &table[k - 1];
+            let half = 1usize << (k - 1);
+            let mut row = Vec::with_capacity(m - (1 << k) + 1);
+            for i in 0..=(m - (1 << k)) {
+                let a = prev[i];
+                let b = prev[i + half];
+                row.push(if tour_depth[a as usize] <= tour_depth[b as usize] {
+                    a
+                } else {
+                    b
+                });
+            }
+            table.push(row);
+            k += 1;
+        }
+
+        Self {
+            tour,
+            tour_depth,
+            first_pos,
+            table,
+            weight_to_root,
+            leaf_of: (0..t.num_points()).map(|p| t.leaf_of(p)).collect(),
+        }
+    }
+
+    /// LCA of two nodes in O(1).
+    pub fn lca(&self, a: NodeId, b: NodeId) -> NodeId {
+        let (mut i, mut j) = (self.first_pos[a], self.first_pos[b]);
+        if i > j {
+            std::mem::swap(&mut i, &mut j);
+        }
+        let len = j - i + 1;
+        let k = (usize::BITS - 1 - len.leading_zeros()) as usize;
+        let x = self.table[k][i];
+        let y = self.table[k][j + 1 - (1 << k)];
+        let pos = if self.tour_depth[x as usize] <= self.tour_depth[y as usize] {
+            x
+        } else {
+            y
+        };
+        self.tour[pos as usize]
+    }
+
+    /// Tree distance between two nodes in O(1).
+    pub fn node_distance(&self, a: NodeId, b: NodeId) -> f64 {
+        let l = self.lca(a, b);
+        self.weight_to_root[a] + self.weight_to_root[b] - 2.0 * self.weight_to_root[l]
+    }
+
+    /// Tree distance between two points in O(1).
+    pub fn distance(&self, p: PointId, q: PointId) -> f64 {
+        if p == q {
+            return 0.0;
+        }
+        self.node_distance(self.leaf_of[p], self.leaf_of[q])
+    }
+
+    /// Number of points indexed.
+    pub fn num_points(&self) -> usize {
+        self.leaf_of.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HstBuilder;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_tree(seed: u64, internal: usize) -> Hst {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = HstBuilder::new();
+        let root = b.add_root();
+        let mut nodes = vec![root];
+        let mut has_children = vec![false; 1];
+        for _ in 0..internal {
+            let parent = nodes[rng.gen_range(0..nodes.len())];
+            let id = b.add_child(parent, rng.gen_range(0.1..10.0), None);
+            has_children[parent] = true;
+            nodes.push(id);
+            has_children.push(false);
+        }
+        let mut point = 0usize;
+        for i in 0..nodes.len() {
+            if !has_children[i] {
+                b.add_child(nodes[i], rng.gen_range(0.1..2.0), Some(point));
+                point += 1;
+            }
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn oracle_matches_walkup_distance_on_random_trees() {
+        for seed in 0..10u64 {
+            let t = random_tree(seed, 30);
+            let oracle = DistanceOracle::new(&t);
+            let n = t.num_points();
+            for p in 0..n {
+                for q in 0..n {
+                    let a = t.distance(p, q);
+                    let b = oracle.distance(p, q);
+                    assert!(
+                        (a - b).abs() < 1e-12 * (1.0 + a),
+                        "seed {seed} ({p},{q}): {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_lca_matches_walkup_lca() {
+        let t = random_tree(3, 40);
+        let oracle = DistanceOracle::new(&t);
+        for a in t.node_ids() {
+            for b in t.node_ids() {
+                assert_eq!(oracle.lca(a, b), t.lca(a, b), "({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_tree() {
+        let mut b = HstBuilder::new();
+        let r = b.add_root();
+        b.add_child(r, 1.0, Some(0));
+        let t = b.finish().unwrap();
+        let oracle = DistanceOracle::new(&t);
+        assert_eq!(oracle.distance(0, 0), 0.0);
+        assert_eq!(oracle.num_points(), 1);
+    }
+
+    #[test]
+    fn path_tree_distances() {
+        // Chain: root -> a -> b(point 0); root -> c(point 1).
+        let mut b = HstBuilder::new();
+        let root = b.add_root();
+        let a = b.add_child(root, 2.0, None);
+        b.add_child(a, 3.0, Some(0));
+        b.add_child(root, 5.0, Some(1));
+        let t = b.finish().unwrap();
+        let oracle = DistanceOracle::new(&t);
+        assert_eq!(oracle.distance(0, 1), 3.0 + 2.0 + 5.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Saving and loading trees.
+//!
+//! An embedding is the *product* of the pipeline — downstream
+//! applications (EMD queries, clustering services) want to compute it
+//! once and reuse it. The portable format is the deduplicated edge list
+//! Algorithm 2 itself produces: `(node, parent, weight, point?)` rows.
+
+use crate::builder::{from_edge_list, EdgeRec, HstError};
+use crate::tree::Hst;
+use serde::{Deserialize, Serialize};
+
+/// Serializable form of a tree: the edge list plus the point count.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct TreeDocument {
+    /// Number of input points (leaf ids are `0..n_points`).
+    pub n_points: usize,
+    /// One row per node: `(node key, parent key, weight, point)`. The
+    /// root has `parent == node`.
+    pub edges: Vec<(u64, u64, f64, Option<usize>)>,
+}
+
+impl Hst {
+    /// Exports the tree as a [`TreeDocument`] (stable node keys are the
+    /// arena indices, which is fine for persistence — structural hashes
+    /// only matter *during* distributed construction).
+    pub fn to_document(&self) -> TreeDocument {
+        let mut edges = Vec::with_capacity(self.num_nodes());
+        for id in self.node_ids() {
+            let node = self.node(id);
+            let parent = node.parent.unwrap_or(id);
+            edges.push((id as u64, parent as u64, node.weight_to_parent, node.point));
+        }
+        TreeDocument {
+            n_points: self.num_points(),
+            edges,
+        }
+    }
+
+    /// Reconstructs a tree from a document, revalidating every
+    /// structural invariant (single root, connectivity, dense points,
+    /// finite non-negative weights).
+    pub fn from_document(doc: &TreeDocument) -> Result<Hst, HstError> {
+        let recs: Vec<EdgeRec> = doc
+            .edges
+            .iter()
+            .map(|&(node, parent, weight, point)| EdgeRec {
+                node,
+                parent,
+                weight,
+                point,
+            })
+            .collect();
+        from_edge_list(&recs, doc.n_points)
+    }
+
+    /// JSON serialization of [`Hst::to_document`].
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self.to_document()).expect("tree document serializes")
+    }
+
+    /// Parses and validates a JSON tree document.
+    pub fn from_json(s: &str) -> Result<Hst, HstError> {
+        let doc: TreeDocument =
+            serde_json::from_str(s).map_err(|e| HstError::NotATreeMsg(e.to_string()))?;
+        Hst::from_document(&doc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HstBuilder;
+
+    fn fixture() -> Hst {
+        let mut b = HstBuilder::new();
+        let root = b.add_root();
+        let a = b.add_child(root, 4.0, None);
+        let bb = b.add_child(root, 4.0, None);
+        b.add_child(a, 1.0, Some(0));
+        b.add_child(a, 1.5, Some(1));
+        b.add_child(bb, 1.0, Some(2));
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn document_round_trip_preserves_metric() {
+        let t = fixture();
+        let doc = t.to_document();
+        let t2 = Hst::from_document(&doc).unwrap();
+        assert_eq!(t2.num_points(), t.num_points());
+        for p in 0..3 {
+            for q in 0..3 {
+                assert_eq!(t.distance(p, q), t2.distance(p, q), "({p},{q})");
+            }
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let t = fixture();
+        let json = t.to_json();
+        let t2 = Hst::from_json(&json).unwrap();
+        assert_eq!(t.distance(0, 2), t2.distance(0, 2));
+        assert_eq!(t2.num_nodes(), t.num_nodes());
+    }
+
+    #[test]
+    fn corrupt_json_is_rejected() {
+        assert!(Hst::from_json("{not json").is_err());
+        // Structurally invalid: two roots.
+        let doc = TreeDocument {
+            n_points: 0,
+            edges: vec![(1, 1, 0.0, None), (2, 2, 0.0, None)],
+        };
+        assert!(Hst::from_document(&doc).is_err());
+    }
+
+    #[test]
+    fn tampered_weight_is_rejected() {
+        let t = fixture();
+        let mut doc = t.to_document();
+        doc.edges[1].2 = -5.0;
+        assert!(Hst::from_document(&doc).is_err());
+    }
+}

@@ -1,0 +1,653 @@
+//! The simulated cluster: distributed collections and the round
+//! primitive.
+
+use crate::config::MpcConfig;
+use crate::error::{CapacityPhase, MpcError, MpcResult};
+use crate::exec;
+use crate::metrics::{Metrics, RoundStats};
+use crate::words::{self, Words};
+
+/// Identifier of a machine, `0..num_machines`.
+pub type MachineId = usize;
+
+/// A distributed collection: one shard (`Vec<T>`) per machine.
+#[derive(Debug, Clone)]
+pub struct Dist<T> {
+    parts: Vec<Vec<T>>,
+}
+
+impl<T> Dist<T> {
+    /// An empty collection over `m` machines.
+    pub fn empty(m: usize) -> Self {
+        Self {
+            parts: (0..m).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Wraps explicit shards.
+    pub fn from_parts(parts: Vec<Vec<T>>) -> Self {
+        Self { parts }
+    }
+
+    /// Number of machines the collection spans.
+    pub fn num_machines(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Shard of machine `i`.
+    pub fn part(&self, i: MachineId) -> &[T] {
+        &self.parts[i]
+    }
+
+    /// All shards.
+    pub fn parts(&self) -> &[Vec<T>] {
+        &self.parts
+    }
+
+    /// Consumes the collection, yielding its shards.
+    pub fn into_parts(self) -> Vec<Vec<T>> {
+        self.parts
+    }
+
+    /// Total number of records across the cluster.
+    pub fn total_len(&self) -> usize {
+        self.parts.iter().map(Vec::len).sum()
+    }
+}
+
+impl<T: Words> Dist<T> {
+    /// Total resident words across the cluster.
+    pub fn total_words(&self) -> usize {
+        self.parts.iter().map(|p| words::of_slice(p)).sum()
+    }
+
+    /// Largest shard in words.
+    pub fn max_part_words(&self) -> usize {
+        self.parts
+            .iter()
+            .map(|p| words::of_slice(p))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Outgoing-message buffer handed to round closures.
+pub struct Emitter<U> {
+    msgs: Vec<(MachineId, U)>,
+    out_words: usize,
+}
+
+impl<U: Words> Emitter<U> {
+    fn new() -> Self {
+        Self {
+            msgs: Vec::new(),
+            out_words: 0,
+        }
+    }
+
+    /// Queues `rec` for delivery to machine `to` at the end of the round.
+    pub fn send(&mut self, to: MachineId, rec: U) {
+        self.out_words += rec.words();
+        self.msgs.push((to, rec));
+    }
+
+    /// Words queued so far.
+    pub fn out_words(&self) -> usize {
+        self.out_words
+    }
+}
+
+/// The simulated MPC runtime: executes rounds, enforces capacity, and
+/// meters everything.
+pub struct Runtime {
+    cfg: MpcConfig,
+    metrics: Metrics,
+    /// Per-machine words pinned by accounted broadcasts (e.g. replicated
+    /// grids): charged against capacity and total space in every
+    /// subsequent round.
+    overlay_words: usize,
+}
+
+impl Runtime {
+    /// Creates a runtime for the given configuration.
+    pub fn new(cfg: MpcConfig) -> Self {
+        Self {
+            cfg,
+            metrics: Metrics::new(),
+            overlay_words: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MpcConfig {
+        &self.cfg
+    }
+
+    /// Number of machines.
+    pub fn num_machines(&self) -> usize {
+        self.cfg.num_machines
+    }
+
+    /// Per-machine capacity in words.
+    pub fn capacity(&self) -> usize {
+        self.cfg.capacity_words
+    }
+
+    /// Metrics accumulated so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Clears accumulated metrics (e.g. between pipeline stages).
+    pub fn reset_metrics(&mut self) {
+        self.metrics = Metrics::new();
+    }
+
+    /// Loads host data onto the cluster, filling machines greedily in
+    /// word units. Mirrors the MPC convention that the input arrives
+    /// pre-distributed; it does not count as a round.
+    ///
+    /// Fails if a single record exceeds capacity or the cluster's total
+    /// space cannot hold the input.
+    pub fn distribute<T: Words + Send>(&mut self, items: Vec<T>) -> MpcResult<Dist<T>> {
+        let cap = self.capacity();
+        let m = self.num_machines();
+        let mut parts: Vec<Vec<T>> = (0..m).map(|_| Vec::new()).collect();
+        let mut machine = 0usize;
+        let mut used = 0usize;
+        for item in items {
+            let w = item.words();
+            if w > cap {
+                return Err(MpcError::CapacityExceeded {
+                    machine,
+                    round: self.metrics.rounds(),
+                    phase: CapacityPhase::Input,
+                    words: w,
+                    capacity: cap,
+                    label: "distribute".into(),
+                });
+            }
+            if used + w > cap {
+                machine += 1;
+                used = 0;
+                if machine >= m {
+                    return Err(MpcError::CapacityExceeded {
+                        machine: m - 1,
+                        round: self.metrics.rounds(),
+                        phase: CapacityPhase::Input,
+                        words: cap + w,
+                        capacity: cap,
+                        label: "distribute (cluster full)".into(),
+                    });
+                }
+            }
+            used += w;
+            parts[machine].push(item);
+        }
+        let dist = Dist::from_parts(parts);
+        self.metrics.record_total_resident(dist.total_words());
+        Ok(dist)
+    }
+
+    /// Executes one communication round.
+    ///
+    /// Each machine `i` runs `f(i, local_shard, emitter)` concurrently,
+    /// returning the records it *keeps*; records passed to
+    /// [`Emitter::send`] are routed to their destinations. A machine's
+    /// shard in the output collection is its kept records followed by
+    /// received records in source-machine order (deterministic).
+    ///
+    /// Capacity checks (strict mode): input ≤ s, sent ≤ s, received ≤ s,
+    /// kept + received ≤ s.
+    pub fn round<T, U, F>(&mut self, label: &str, input: Dist<T>, f: F) -> MpcResult<Dist<U>>
+    where
+        T: Words + Send,
+        U: Words + Send,
+        F: Fn(MachineId, Vec<T>, &mut Emitter<U>) -> Vec<U> + Sync,
+    {
+        let cap = self.capacity();
+        let m = self.num_machines();
+        assert_eq!(
+            input.num_machines(),
+            m,
+            "collection spans a different cluster"
+        );
+        let round_idx = self.metrics.rounds();
+        let strict = self.cfg.strict;
+        let mut violations = 0usize;
+
+        // Phase 1: input capacity check.
+        let mut worst_input: Option<(usize, usize)> = None;
+        for (i, p) in input.parts().iter().enumerate() {
+            let w = words::of_slice(p);
+            if w > cap && worst_input.is_none_or(|(_, ww)| w > ww) {
+                worst_input = Some((i, w));
+            }
+        }
+        if let Some((i, w)) = worst_input {
+            if strict {
+                return Err(MpcError::CapacityExceeded {
+                    machine: i,
+                    round: round_idx,
+                    phase: CapacityPhase::Input,
+                    words: w,
+                    capacity: cap,
+                    label: label.into(),
+                });
+            }
+            violations += 1;
+        }
+
+        // Phase 2: run machines concurrently.
+        struct MachineOut<U> {
+            kept: Vec<U>,
+            msgs: Vec<(MachineId, U)>,
+            out_words: usize,
+        }
+        let outputs: Vec<MachineOut<U>> =
+            exec::par_map_indexed(input.into_parts(), self.cfg.threads, |i, shard| {
+                let mut em = Emitter::new();
+                let kept = f(i, shard, &mut em);
+                MachineOut {
+                    kept,
+                    msgs: em.msgs,
+                    out_words: em.out_words,
+                }
+            });
+
+        // Phase 3: validate sends and route messages.
+        let mut sent_total = 0usize;
+        let mut max_out = 0usize;
+        let mut parts: Vec<Vec<U>> = Vec::with_capacity(m);
+        let mut in_words = vec![0usize; m];
+        let mut routed: Vec<Vec<(MachineId, U)>> = Vec::with_capacity(m);
+        for (src, out) in outputs.iter().enumerate() {
+            if out.out_words > cap {
+                if strict {
+                    return Err(MpcError::CapacityExceeded {
+                        machine: src,
+                        round: round_idx,
+                        phase: CapacityPhase::Send,
+                        words: out.out_words,
+                        capacity: cap,
+                        label: label.into(),
+                    });
+                }
+                violations += 1;
+            }
+            sent_total += out.out_words;
+            max_out = max_out.max(out.out_words);
+            for (dest, rec) in &out.msgs {
+                if *dest >= m {
+                    return Err(MpcError::BadDestination {
+                        source: src,
+                        dest: *dest,
+                        num_machines: m,
+                    });
+                }
+                in_words[*dest] += rec.words();
+            }
+        }
+        let max_in = in_words.iter().copied().max().unwrap_or(0);
+        for (dest, &w) in in_words.iter().enumerate() {
+            if w > cap {
+                if strict {
+                    return Err(MpcError::CapacityExceeded {
+                        machine: dest,
+                        round: round_idx,
+                        phase: CapacityPhase::Receive,
+                        words: w,
+                        capacity: cap,
+                        label: label.into(),
+                    });
+                }
+                violations += 1;
+            }
+        }
+        for _ in 0..m {
+            routed.push(Vec::new());
+        }
+        // Deliver kept records first, then messages in source order.
+        let mut kept_words = vec![0usize; m];
+        let mut outputs = outputs;
+        for (i, out) in outputs.iter().enumerate() {
+            kept_words[i] = words::of_slice(&out.kept);
+        }
+        for (src, out) in outputs.iter_mut().enumerate() {
+            for (dest, rec) in out.msgs.drain(..) {
+                routed[dest].push((src, rec));
+            }
+        }
+        let mut max_resident = 0usize;
+        for (i, out) in outputs.into_iter().enumerate() {
+            let mut shard = out.kept;
+            // Messages were appended in source order already because we
+            // iterate sources in ascending order above.
+            shard.extend(routed[i].drain(..).map(|(_, rec)| rec));
+            let resident = kept_words[i] + in_words[i] + self.overlay_words;
+            max_resident = max_resident.max(resident);
+            if resident > cap {
+                if strict {
+                    return Err(MpcError::CapacityExceeded {
+                        machine: i,
+                        round: round_idx,
+                        phase: CapacityPhase::Residency,
+                        words: resident,
+                        capacity: cap,
+                        label: label.into(),
+                    });
+                }
+                violations += 1;
+            }
+            parts.push(shard);
+        }
+
+        self.metrics.record_round(RoundStats {
+            round: round_idx,
+            label: label.into(),
+            sent_words: sent_total,
+            max_out_words: max_out,
+            max_in_words: max_in,
+            max_resident_words: max_resident,
+            violations,
+        });
+        let dist = Dist::from_parts(parts);
+        self.metrics
+            .record_total_resident(dist.total_words() + self.overlay_words * m);
+        Ok(dist)
+    }
+
+    /// Machine-local transformation with **no communication**. Does not
+    /// advance the round counter: in the MPC model, local computation
+    /// fuses into the surrounding communication rounds. Output residency
+    /// is still metered and capacity-checked.
+    pub fn map_local<T, U, F>(&mut self, input: Dist<T>, f: F) -> MpcResult<Dist<U>>
+    where
+        T: Words + Send,
+        U: Words + Send,
+        F: Fn(MachineId, Vec<T>) -> Vec<U> + Sync,
+    {
+        let cap = self.capacity();
+        let parts = exec::par_map_indexed(input.into_parts(), self.cfg.threads, f);
+        let dist = Dist::from_parts(parts);
+        if self.cfg.strict {
+            for (i, p) in dist.parts().iter().enumerate() {
+                let w = words::of_slice(p);
+                if w > cap {
+                    return Err(MpcError::CapacityExceeded {
+                        machine: i,
+                        round: self.metrics.rounds(),
+                        phase: CapacityPhase::Residency,
+                        words: w,
+                        capacity: cap,
+                        label: "map_local".into(),
+                    });
+                }
+            }
+        }
+        self.metrics.record_total_resident(dist.total_words());
+        Ok(dist)
+    }
+
+    /// Pins `words` of per-machine overlay residency (replicated payloads
+    /// such as broadcast grids). Charged in every later round's capacity
+    /// check and in the total-space meter.
+    pub fn metrics_record_replicated(&mut self, words: usize) {
+        self.overlay_words += words;
+        self.metrics.bump_peak_machine(self.overlay_words);
+        self.metrics
+            .record_total_resident(self.overlay_words * self.cfg.num_machines);
+    }
+
+    /// Records an *accounted* round: a communication round whose loads
+    /// are known analytically, without materializing the data. Used by
+    /// collectives that would otherwise replicate identical payloads
+    /// across every simulated machine (e.g. grid broadcasts), where
+    /// materialization adds memory pressure but no fidelity — the round
+    /// count, load metering, and capacity checks are identical.
+    ///
+    /// Fails (strict mode) if any stated load exceeds capacity.
+    pub fn record_accounted_round(
+        &mut self,
+        label: &str,
+        sent_words: usize,
+        max_out_words: usize,
+        max_in_words: usize,
+        max_resident_words: usize,
+    ) -> MpcResult<()> {
+        let cap = self.capacity();
+        let round = self.metrics.rounds();
+        let mut violations = 0usize;
+        for (phase, words) in [
+            (CapacityPhase::Send, max_out_words),
+            (CapacityPhase::Receive, max_in_words),
+            (CapacityPhase::Residency, max_resident_words),
+        ] {
+            if words > cap {
+                if self.cfg.strict {
+                    return Err(MpcError::CapacityExceeded {
+                        machine: 0,
+                        round,
+                        phase,
+                        words,
+                        capacity: cap,
+                        label: label.into(),
+                    });
+                }
+                violations += 1;
+            }
+        }
+        self.metrics.record_round(RoundStats {
+            round,
+            label: label.into(),
+            sent_words,
+            max_out_words,
+            max_in_words,
+            max_resident_words,
+            violations,
+        });
+        Ok(())
+    }
+
+    /// Extracts a distributed collection to the host in machine order.
+    /// This models reading off the final output and is not an MPC round.
+    pub fn gather<T>(&mut self, input: Dist<T>) -> Vec<T> {
+        let mut out = Vec::with_capacity(input.total_len());
+        for part in input.into_parts() {
+            out.extend(part);
+        }
+        out
+    }
+}
+
+/// SplitMix64 — the stateless mixer used to derive per-machine and
+/// per-index random streams from a shared broadcast seed.
+#[inline]
+pub fn mix_seed(a: u64, b: u64) -> u64 {
+    let mut z = a
+        .wrapping_mul(0xFF51_AFD7_ED55_8CCD)
+        .wrapping_add(b)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_rt(cap: usize, machines: usize) -> Runtime {
+        Runtime::new(MpcConfig::explicit(64, cap, machines).with_threads(4))
+    }
+
+    #[test]
+    fn distribute_packs_by_words() {
+        let mut rt = small_rt(4, 8);
+        let dist = rt.distribute((0..10u64).collect()).unwrap();
+        assert_eq!(dist.total_len(), 10);
+        for p in dist.parts() {
+            assert!(p.len() <= 4);
+        }
+        // Greedy fill: machine 0 holds records 0..4.
+        assert_eq!(dist.part(0), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn distribute_fails_when_cluster_full() {
+        let mut rt = small_rt(4, 2);
+        let err = rt.distribute((0..100u64).collect()).unwrap_err();
+        assert!(matches!(err, MpcError::CapacityExceeded { .. }));
+    }
+
+    #[test]
+    fn round_routes_messages_deterministically() {
+        let mut rt = small_rt(64, 4);
+        let dist = rt.distribute((0..16u64).collect()).unwrap();
+        // Send every record to machine (value % 4); keep nothing.
+        let out = rt
+            .round("route", dist, |_, shard, em| {
+                for v in shard {
+                    em.send((v % 4) as usize, v);
+                }
+                Vec::new()
+            })
+            .unwrap();
+        for m in 0..4 {
+            let vals = out.part(m);
+            assert!(vals.iter().all(|v| (*v % 4) as usize == m));
+            // Source-order delivery keeps values ascending here.
+            let mut sorted = vals.to_vec();
+            sorted.sort_unstable();
+            assert_eq!(vals, &sorted[..]);
+        }
+        assert_eq!(rt.metrics().rounds(), 1);
+        assert_eq!(rt.metrics().total_sent_words(), 16);
+    }
+
+    #[test]
+    fn round_keep_retains_local_data() {
+        let mut rt = small_rt(64, 2);
+        let dist = rt.distribute(vec![1u64, 2, 3]).unwrap();
+        let out = rt
+            .round("keep", dist, |_, shard, _em: &mut Emitter<u64>| shard)
+            .unwrap();
+        assert_eq!(out.total_len(), 3);
+        assert_eq!(rt.metrics().total_sent_words(), 0);
+    }
+
+    #[test]
+    fn send_capacity_violation_is_strict_error() {
+        let mut rt = small_rt(4, 4);
+        let dist = rt.distribute(vec![0u64]).unwrap();
+        let err = rt
+            .round("flood", dist, |id, shard, em| {
+                if id == 0 {
+                    for i in 0..100u64 {
+                        em.send(1, i);
+                    }
+                }
+                shard
+            })
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                MpcError::CapacityExceeded {
+                    phase: CapacityPhase::Send,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn receive_overflow_detected() {
+        let mut rt = small_rt(8, 4);
+        let dist = rt.distribute((0..24u64).collect()).unwrap();
+        // All machines flood machine 0: each sends <= 8 (ok) but machine 0
+        // receives 24 > 8.
+        let err = rt
+            .round("hotspot", dist, |_, shard, em| {
+                for v in shard {
+                    em.send(0, v);
+                }
+                Vec::new()
+            })
+            .unwrap_err();
+        match err {
+            MpcError::CapacityExceeded { machine, phase, .. } => {
+                assert_eq!(machine, 0);
+                assert!(phase == CapacityPhase::Receive || phase == CapacityPhase::Residency);
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn lenient_mode_meters_instead_of_failing() {
+        let cfg = MpcConfig::explicit(64, 8, 4).lenient();
+        let mut rt = Runtime::new(cfg);
+        let dist = rt.distribute((0..24u64).collect()).unwrap();
+        let out = rt
+            .round("hotspot", dist, |_, shard, em| {
+                for v in shard {
+                    em.send(0, v);
+                }
+                Vec::new()
+            })
+            .unwrap();
+        assert_eq!(out.part(0).len(), 24);
+        assert!(rt.metrics().violations() > 0);
+    }
+
+    #[test]
+    fn bad_destination_is_an_error_even_lenient() {
+        let cfg = MpcConfig::explicit(64, 8, 2).lenient();
+        let mut rt = Runtime::new(cfg);
+        let dist = rt.distribute(vec![1u64]).unwrap();
+        let err = rt
+            .round("oops", dist, |_, shard, em| {
+                em.send(99, 1u64);
+                shard
+            })
+            .unwrap_err();
+        assert!(matches!(err, MpcError::BadDestination { dest: 99, .. }));
+    }
+
+    #[test]
+    fn map_local_does_not_count_rounds() {
+        let mut rt = small_rt(64, 2);
+        let dist = rt.distribute(vec![1u64, 2, 3]).unwrap();
+        let doubled = rt
+            .map_local(dist, |_, shard| {
+                shard.into_iter().map(|x| x * 2).collect::<Vec<u64>>()
+            })
+            .unwrap();
+        assert_eq!(rt.metrics().rounds(), 0);
+        assert_eq!(rt.gather(doubled), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn metrics_track_peak_residency() {
+        let mut rt = small_rt(64, 2);
+        let dist = rt.distribute((0..32u64).collect()).unwrap();
+        let _ = rt
+            .round("concentrate", dist, |_, shard, em| {
+                for v in shard {
+                    em.send(1, v);
+                }
+                Vec::new()
+            })
+            .unwrap();
+        assert_eq!(rt.metrics().peak_machine_words(), 32);
+    }
+
+    #[test]
+    fn mix_seed_is_deterministic_and_spreads() {
+        assert_eq!(mix_seed(1, 2), mix_seed(1, 2));
+        assert_ne!(mix_seed(1, 2), mix_seed(2, 1));
+        assert_ne!(mix_seed(0, 0), 0);
+    }
+}

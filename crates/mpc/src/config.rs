@@ -1,0 +1,157 @@
+//! MPC cluster configuration.
+
+/// Configuration for a simulated MPC cluster.
+///
+/// The canonical constructor is [`MpcConfig::fully_scalable`], which
+/// derives the per-machine capacity `s = ⌈N^ε⌉` from the input size `N`
+/// (in machine words) and the scalability exponent `ε`, matching the
+/// paper's "fully scalable" regime. Builders allow overriding any knob
+/// for tests and experiments.
+#[derive(Debug, Clone)]
+pub struct MpcConfig {
+    /// Input size `N` in machine words (for the paper: `n · d`).
+    pub input_words: usize,
+    /// Scalability exponent `ε ∈ (0, 1)`; recorded for reporting.
+    pub epsilon: f64,
+    /// Local memory per machine, in words (`s`).
+    pub capacity_words: usize,
+    /// Number of machines `M`.
+    pub num_machines: usize,
+    /// OS threads used to execute machines concurrently.
+    pub threads: usize,
+    /// When true (the default), capacity violations abort the computation
+    /// with an error; when false they are only recorded in the metrics.
+    pub strict: bool,
+}
+
+/// Multiplier on `N / s` when choosing the default machine count. MPC
+/// algorithms routinely need constant-factor slack in total space; the
+/// paper's bounds all carry an `O(·)`.
+const MACHINE_SLACK: usize = 4;
+
+impl MpcConfig {
+    /// Fully scalable configuration: `s = ⌈N^ε⌉` (at least 16 words so
+    /// toy inputs remain runnable), `M = ⌈slack · N / s⌉`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < epsilon < 1` and `input_words > 0`.
+    pub fn fully_scalable(input_words: usize, epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must lie in (0,1)");
+        assert!(input_words > 0, "input must be non-empty");
+        let capacity = (input_words as f64).powf(epsilon).ceil() as usize;
+        let capacity_words = capacity.max(16);
+        let num_machines = (MACHINE_SLACK * input_words)
+            .div_ceil(capacity_words)
+            .max(1);
+        Self {
+            input_words,
+            epsilon,
+            capacity_words,
+            num_machines,
+            threads: default_threads(),
+            strict: true,
+        }
+    }
+
+    /// Explicit configuration (capacity and machine count chosen by the
+    /// caller); `epsilon` is recorded as the implied `log s / log N`.
+    pub fn explicit(input_words: usize, capacity_words: usize, num_machines: usize) -> Self {
+        assert!(capacity_words > 0 && num_machines > 0);
+        let epsilon = if input_words > 1 {
+            (capacity_words as f64).ln() / (input_words as f64).ln()
+        } else {
+            1.0
+        };
+        Self {
+            input_words: input_words.max(1),
+            epsilon,
+            capacity_words,
+            num_machines,
+            threads: default_threads(),
+            strict: true,
+        }
+    }
+
+    /// Overrides the per-machine capacity.
+    pub fn with_capacity(mut self, capacity_words: usize) -> Self {
+        assert!(capacity_words > 0);
+        self.capacity_words = capacity_words;
+        self
+    }
+
+    /// Overrides the machine count.
+    pub fn with_machines(mut self, num_machines: usize) -> Self {
+        assert!(num_machines > 0);
+        self.num_machines = num_machines;
+        self
+    }
+
+    /// Overrides the executor thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0);
+        self.threads = threads;
+        self
+    }
+
+    /// Meter capacity violations instead of failing on them. Useful for
+    /// experiments that chart *how close* an algorithm runs to the bound.
+    pub fn lenient(mut self) -> Self {
+        self.strict = false;
+        self
+    }
+
+    /// Total space of the cluster in words (`M · s`).
+    pub fn total_space_words(&self) -> usize {
+        self.num_machines * self.capacity_words
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_scalable_derives_capacity() {
+        let cfg = MpcConfig::fully_scalable(1 << 20, 0.5);
+        assert_eq!(cfg.capacity_words, 1 << 10);
+        assert_eq!(cfg.num_machines, MACHINE_SLACK * (1 << 10));
+    }
+
+    #[test]
+    fn capacity_floor_keeps_toy_inputs_runnable() {
+        let cfg = MpcConfig::fully_scalable(4, 0.3);
+        assert!(cfg.capacity_words >= 16);
+    }
+
+    #[test]
+    fn builders_override() {
+        let cfg = MpcConfig::fully_scalable(1024, 0.5)
+            .with_capacity(77)
+            .with_machines(5)
+            .with_threads(2)
+            .lenient();
+        assert_eq!(cfg.capacity_words, 77);
+        assert_eq!(cfg.num_machines, 5);
+        assert_eq!(cfg.threads, 2);
+        assert!(!cfg.strict);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn epsilon_must_be_fractional() {
+        let _ = MpcConfig::fully_scalable(100, 1.0);
+    }
+
+    #[test]
+    fn total_space_is_machines_times_capacity() {
+        let cfg = MpcConfig::explicit(100, 10, 7);
+        assert_eq!(cfg.total_space_words(), 70);
+    }
+}

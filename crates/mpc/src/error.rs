@@ -1,0 +1,126 @@
+//! Error type for MPC computations.
+//!
+//! Theorem 1's algorithm "reports failure" rather than silently
+//! degrading; the runtime mirrors that: capacity violations and coverage
+//! failures surface as values of [`MpcError`].
+
+use std::fmt;
+
+/// Result alias for MPC computations.
+pub type MpcResult<T> = Result<T, MpcError>;
+
+/// The phase of a round at which a capacity violation was detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapacityPhase {
+    /// The machine's input at the start of the round.
+    Input,
+    /// Words the machine chose to keep locally plus words it received.
+    Residency,
+    /// Words the machine sent during the round.
+    Send,
+    /// Words the machine received during the round.
+    Receive,
+}
+
+impl fmt::Display for CapacityPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CapacityPhase::Input => "input",
+            CapacityPhase::Residency => "residency",
+            CapacityPhase::Send => "send",
+            CapacityPhase::Receive => "receive",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Errors surfaced by the simulated MPC runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpcError {
+    /// A machine exceeded its local capacity.
+    CapacityExceeded {
+        /// Offending machine.
+        machine: usize,
+        /// Round index (0-based) at which the violation occurred.
+        round: usize,
+        /// Phase of the round.
+        phase: CapacityPhase,
+        /// Observed word count.
+        words: usize,
+        /// Configured capacity.
+        capacity: usize,
+        /// Human-readable label of the round.
+        label: String,
+    },
+    /// A message addressed a machine outside `0..num_machines`.
+    BadDestination {
+        /// Offending source machine.
+        source: usize,
+        /// The invalid destination.
+        dest: usize,
+        /// Number of machines in the cluster.
+        num_machines: usize,
+    },
+    /// An algorithm-level failure (e.g. ball-partition coverage failed;
+    /// Theorem 1 permits reporting failure with probability `1/poly(n)`).
+    AlgorithmFailure(String),
+}
+
+impl fmt::Display for MpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpcError::CapacityExceeded {
+                machine,
+                round,
+                phase,
+                words,
+                capacity,
+                label,
+            } => {
+                write!(
+                    f,
+                    "machine {machine} exceeded local capacity in round {round} ({label}, phase {phase}): {words} words > {capacity}"
+                )
+            }
+            MpcError::BadDestination {
+                source,
+                dest,
+                num_machines,
+            } => {
+                write!(
+                    f,
+                    "machine {source} addressed invalid machine {dest} (cluster has {num_machines})"
+                )
+            }
+            MpcError::AlgorithmFailure(msg) => write!(f, "algorithm reported failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MpcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_key_fields() {
+        let e = MpcError::CapacityExceeded {
+            machine: 3,
+            round: 7,
+            phase: CapacityPhase::Send,
+            words: 100,
+            capacity: 64,
+            label: "sort".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("machine 3") && s.contains("round 7") && s.contains("send"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        let a = MpcError::AlgorithmFailure("x".into());
+        let b = MpcError::AlgorithmFailure("x".into());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,155 @@
+//! Deterministic parallel executor for machine-local computation.
+//!
+//! Machines within an MPC round are independent, so the runtime executes
+//! them concurrently on scoped OS threads (crossbeam). Work is handed out
+//! through an atomic cursor; results are written into per-index slots, so
+//! the output order is independent of scheduling and the whole simulation
+//! stays deterministic.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every `(index, item)` pair, running up to `threads`
+/// workers concurrently, and returns the results in index order.
+///
+/// Falls back to a plain sequential loop when `threads <= 1` or the item
+/// count is tiny (thread spawn costs would dominate).
+pub fn par_map_indexed<T, U, F>(items: Vec<T>, threads: usize, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, T) -> U + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, x)| f(i, x))
+            .collect();
+    }
+    let workers = threads.min(n);
+    let tasks: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = tasks[i].lock().take().expect("task taken twice");
+                let out = f(i, item);
+                *slots[i].lock() = Some(out);
+            });
+        }
+    })
+    .expect("executor worker panicked");
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("missing result slot"))
+        .collect()
+}
+
+/// Parallel for-each over `(index, &mut item)` pairs; in-place variant of
+/// [`par_map_indexed`] that avoids moving large machine states.
+pub fn par_for_each_mut<T, F>(items: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        for (i, x) in items.iter_mut().enumerate() {
+            f(i, x);
+        }
+        return;
+    }
+    let workers = threads.min(n);
+    let cursor = AtomicUsize::new(0);
+    // Hand out disjoint &mut access through raw pointers guarded by the
+    // unique-index protocol: the atomic cursor yields each index once.
+    struct Ptr<T>(*mut T);
+    unsafe impl<T: Send> Sync for Ptr<T> {}
+    let base = Ptr(items.as_mut_ptr());
+    let base_ref = &base;
+    let cursor = &cursor;
+    let f = &f;
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(move |_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                // SAFETY: each index is dispensed exactly once by the
+                // atomic cursor, so no two threads alias the same element,
+                // and the crossbeam scope outlives no borrow.
+                let item = unsafe { &mut *base_ref.0.add(i) };
+                f(i, item);
+            });
+        }
+    })
+    .expect("executor worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn par_map_matches_sequential() {
+        let items: Vec<u64> = (0..500).collect();
+        let seq: Vec<u64> = items.iter().map(|x| x * x).collect();
+        let par = par_map_indexed(items, 8, |_, x| x * x);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_map_passes_correct_indices() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = par_map_indexed(items, 4, |i, x| (i as u64, x));
+        for (i, (idx, val)) in out.iter().enumerate() {
+            assert_eq!(*idx, i as u64);
+            assert_eq!(*val, i as u64);
+        }
+    }
+
+    #[test]
+    fn par_map_single_thread_fallback() {
+        let out = par_map_indexed(vec![1, 2, 3], 1, |_, x: i32| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn each_task_runs_exactly_once() {
+        let count = AtomicU64::new(0);
+        let out = par_map_indexed((0..1000).collect::<Vec<usize>>(), 6, |_, x| {
+            count.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1000);
+        assert_eq!(out.iter().copied().collect::<HashSet<_>>().len(), 1000);
+    }
+
+    #[test]
+    fn for_each_mut_updates_in_place() {
+        let mut items: Vec<u64> = (0..300).collect();
+        par_for_each_mut(&mut items, 5, |i, x| *x += i as u64);
+        for (i, x) in items.iter().enumerate() {
+            assert_eq!(*x, 2 * i as u64);
+        }
+    }
+
+    #[test]
+    fn for_each_mut_handles_empty_and_tiny() {
+        let mut empty: Vec<u64> = vec![];
+        par_for_each_mut(&mut empty, 4, |_, _| {});
+        let mut one = vec![7u64];
+        par_for_each_mut(&mut one, 4, |_, x| *x = 9);
+        assert_eq!(one, vec![9]);
+    }
+}

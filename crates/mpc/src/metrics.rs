@@ -1,0 +1,163 @@
+//! Round/space metering for the simulated cluster.
+
+use serde::Serialize;
+
+/// Statistics for a single communication round.
+#[derive(Debug, Clone, Serialize)]
+pub struct RoundStats {
+    /// 0-based round index.
+    pub round: usize,
+    /// Human-readable label supplied by the algorithm.
+    pub label: String,
+    /// Total words sent across the cluster this round.
+    pub sent_words: usize,
+    /// Maximum words sent by any single machine.
+    pub max_out_words: usize,
+    /// Maximum words received by any single machine.
+    pub max_in_words: usize,
+    /// Maximum resident words (kept + received) on any machine at the end
+    /// of the round.
+    pub max_resident_words: usize,
+    /// Number of capacity violations observed (only non-zero in lenient
+    /// mode; strict mode fails instead).
+    pub violations: usize,
+}
+
+/// Accumulated metrics of an MPC computation.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Metrics {
+    rounds: Vec<RoundStats>,
+    peak_resident_words: usize,
+    peak_total_resident_words: usize,
+    total_sent_words: usize,
+}
+
+impl Metrics {
+    /// Creates empty metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a finished round.
+    pub fn record_round(&mut self, stats: RoundStats) {
+        self.total_sent_words += stats.sent_words;
+        self.peak_resident_words = self.peak_resident_words.max(stats.max_resident_words);
+        self.rounds.push(stats);
+    }
+
+    /// Raises the peak per-machine residency floor directly (used for
+    /// replicated overlays that sit outside any Dist).
+    pub fn bump_peak_machine(&mut self, words: usize) {
+        self.peak_resident_words = self.peak_resident_words.max(words);
+    }
+
+    /// Records the cluster-wide resident word count observed after a
+    /// round (for total-space audits).
+    pub fn record_total_resident(&mut self, words: usize) {
+        self.peak_total_resident_words = self.peak_total_resident_words.max(words);
+    }
+
+    /// Number of communication rounds executed.
+    pub fn rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Per-round statistics, in execution order.
+    pub fn round_stats(&self) -> &[RoundStats] {
+        &self.rounds
+    }
+
+    /// Peak resident words on any single machine over the computation —
+    /// the quantity bounded by `O((nd)^ε)` in the paper's theorems.
+    pub fn peak_machine_words(&self) -> usize {
+        self.peak_resident_words
+    }
+
+    /// Peak cluster-wide resident words — the paper's "total space".
+    pub fn peak_total_words(&self) -> usize {
+        self.peak_total_resident_words
+    }
+
+    /// Total communication volume in words.
+    pub fn total_sent_words(&self) -> usize {
+        self.total_sent_words
+    }
+
+    /// Total capacity violations (lenient mode only).
+    pub fn violations(&self) -> usize {
+        self.rounds.iter().map(|r| r.violations).sum()
+    }
+
+    /// Rounds whose label starts with `prefix` (primitives label their
+    /// internal rounds, letting callers attribute round budgets).
+    pub fn rounds_labeled(&self, prefix: &str) -> usize {
+        self.rounds
+            .iter()
+            .filter(|r| r.label.starts_with(prefix))
+            .count()
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "rounds={} peak_machine_words={} peak_total_words={} sent_words={}",
+            self.rounds(),
+            self.peak_machine_words(),
+            self.peak_total_words(),
+            self.total_sent_words()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(round: usize, label: &str, sent: usize, resident: usize) -> RoundStats {
+        RoundStats {
+            round,
+            label: label.into(),
+            sent_words: sent,
+            max_out_words: sent,
+            max_in_words: sent,
+            max_resident_words: resident,
+            violations: 0,
+        }
+    }
+
+    #[test]
+    fn rounds_accumulate() {
+        let mut m = Metrics::new();
+        m.record_round(stats(0, "a", 10, 5));
+        m.record_round(stats(1, "b", 20, 50));
+        assert_eq!(m.rounds(), 2);
+        assert_eq!(m.total_sent_words(), 30);
+        assert_eq!(m.peak_machine_words(), 50);
+    }
+
+    #[test]
+    fn labeled_round_counting() {
+        let mut m = Metrics::new();
+        m.record_round(stats(0, "sort:sample", 1, 1));
+        m.record_round(stats(1, "sort:route", 1, 1));
+        m.record_round(stats(2, "broadcast", 1, 1));
+        assert_eq!(m.rounds_labeled("sort"), 2);
+        assert_eq!(m.rounds_labeled("broadcast"), 1);
+    }
+
+    #[test]
+    fn total_resident_peak_tracks_max() {
+        let mut m = Metrics::new();
+        m.record_total_resident(100);
+        m.record_total_resident(40);
+        assert_eq!(m.peak_total_words(), 100);
+    }
+
+    #[test]
+    fn summary_contains_counters() {
+        let mut m = Metrics::new();
+        m.record_round(stats(0, "x", 7, 3));
+        let s = m.summary();
+        assert!(s.contains("rounds=1") && s.contains("sent_words=7"));
+    }
+}

@@ -1,0 +1,151 @@
+//! Broadcast tree: replicate a payload from machine 0 to every machine.
+
+use crate::cluster::{Dist, Runtime};
+use crate::error::{MpcError, MpcResult};
+use crate::words;
+use crate::words::Words;
+
+/// Replicates `payload` (initially resident on machine 0) to every
+/// machine, returning a collection in which every shard equals the
+/// payload.
+///
+/// Uses a fanout-`f` forwarding tree where `f = max(1, s / |payload|)`,
+/// hence `⌈log_{f+1} M⌉` rounds — `O(1/ε)` when the payload fits in a
+/// constant fraction of local memory, exactly the regime of Algorithm 2
+/// (grids broadcast, Lemma 8).
+pub fn broadcast<T>(rt: &mut Runtime, payload: Vec<T>) -> MpcResult<Dist<T>>
+where
+    T: Words + Send + Sync + Clone,
+{
+    let m = rt.num_machines();
+    let payload_words = words::of_slice(&payload);
+    if payload_words > rt.capacity() {
+        return Err(MpcError::AlgorithmFailure(format!(
+            "broadcast payload of {payload_words} words exceeds local capacity {}",
+            rt.capacity()
+        )));
+    }
+    // Copies a holder can emit per round without breaching its send cap.
+    let fanout = (rt.capacity() / payload_words.max(1)).max(1);
+    let mut dist = Dist::empty(m);
+    let parts = dist.parts().len();
+    debug_assert_eq!(parts, m);
+    let mut parts_vec = dist.into_parts();
+    parts_vec[0] = payload;
+    dist = Dist::from_parts(parts_vec);
+
+    let mut holders = 1usize;
+    let mut step = 0usize;
+    while holders < m {
+        let new_total = (holders + holders * fanout).min(m);
+        let label = format!("broadcast:step{step}");
+        let h = holders;
+        dist = rt.round(&label, dist, move |id, shard, em| {
+            if id >= h || shard.is_empty() {
+                return shard;
+            }
+            // Holder `id` feeds targets h + id*fanout .. h + (id+1)*fanout.
+            let first = h + id * fanout;
+            let last = (first + fanout).min(new_total);
+            for t in first..last {
+                for rec in &shard {
+                    em.send(t, rec.clone());
+                }
+            }
+            shard
+        })?;
+        holders = new_total;
+        step += 1;
+    }
+    Ok(dist)
+}
+
+/// Accounted broadcast: meters the exact rounds and loads of
+/// [`broadcast`]ing a `payload_words`-word payload from machine 0 to
+/// every machine, **without materializing** the `M` copies. The data is
+/// assumed available to machines through shared state (in this
+/// simulation, an `Arc`); the metering and capacity checks are what the
+/// MPC cost model requires.
+///
+/// Also records the replicated payload in the total-space meter
+/// (`M × payload_words` resident words after the broadcast).
+pub fn broadcast_accounted(rt: &mut Runtime, payload_words: usize) -> MpcResult<()> {
+    let m = rt.num_machines();
+    if payload_words > rt.capacity() {
+        return Err(MpcError::AlgorithmFailure(format!(
+            "broadcast payload of {payload_words} words exceeds local capacity {}",
+            rt.capacity()
+        )));
+    }
+    let fanout = (rt.capacity() / payload_words.max(1)).max(1);
+    let mut holders = 1usize;
+    let mut step = 0usize;
+    while holders < m {
+        let new_total = (holders + holders * fanout).min(m);
+        let copies = new_total - holders;
+        let max_out = fanout.min(copies) * payload_words;
+        rt.record_accounted_round(
+            &format!("broadcast:step{step}"),
+            copies * payload_words,
+            max_out,
+            payload_words,
+            payload_words,
+        )?;
+        holders = new_total;
+        step += 1;
+    }
+    rt.metrics_record_replicated(payload_words);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MpcConfig;
+
+    #[test]
+    fn all_machines_receive_payload() {
+        let mut rt = Runtime::new(MpcConfig::explicit(64, 32, 9).with_threads(4));
+        let out = broadcast(&mut rt, vec![10u64, 20, 30]).unwrap();
+        for i in 0..9 {
+            assert_eq!(out.part(i), &[10, 20, 30], "machine {i}");
+        }
+    }
+
+    #[test]
+    fn round_count_is_logarithmic_in_machines() {
+        // capacity 8, payload 4 words -> fanout 2 -> 3^k growth.
+        let mut rt = Runtime::new(MpcConfig::explicit(64, 8, 81).with_threads(4));
+        broadcast(&mut rt, vec![1u64, 2, 3, 4]).unwrap();
+        assert_eq!(
+            rt.metrics().rounds(),
+            4,
+            "81 machines at fanout 2 is 4 steps"
+        );
+    }
+
+    #[test]
+    fn single_machine_needs_no_rounds() {
+        let mut rt = Runtime::new(MpcConfig::explicit(64, 32, 1));
+        let out = broadcast(&mut rt, vec![5u64]).unwrap();
+        assert_eq!(out.part(0), &[5]);
+        assert_eq!(rt.metrics().rounds(), 0);
+    }
+
+    #[test]
+    fn oversized_payload_is_rejected() {
+        let mut rt = Runtime::new(MpcConfig::explicit(64, 4, 4));
+        let err = broadcast(&mut rt, (0..10u64).collect()).unwrap_err();
+        assert!(matches!(err, MpcError::AlgorithmFailure(_)));
+    }
+
+    #[test]
+    fn never_violates_capacity() {
+        for machines in [2usize, 5, 17, 64] {
+            let mut rt = Runtime::new(MpcConfig::explicit(64, 16, machines).with_threads(4));
+            let out = broadcast(&mut rt, vec![1u64, 2, 3, 4, 5]).unwrap();
+            assert_eq!(out.part(machines - 1), &[1, 2, 3, 4, 5]);
+            assert_eq!(rt.metrics().violations(), 0);
+        }
+    }
+}

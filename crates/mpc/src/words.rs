@@ -1,0 +1,133 @@
+//! Word-size accounting for records flowing through the simulated
+//! cluster.
+//!
+//! MPC measures memory in *machine words*. Every record type the runtime
+//! moves must implement [`Words`] so the runtime can meter loads. The
+//! measure is deep: a `Vec` charges one word of header plus its payload.
+
+/// Types whose MPC word footprint can be measured.
+pub trait Words {
+    /// Number of machine words this value occupies.
+    fn words(&self) -> usize;
+}
+
+macro_rules! scalar_words {
+    ($($t:ty),*) => {
+        $(impl Words for $t {
+            #[inline]
+            fn words(&self) -> usize { 1 }
+        })*
+    };
+}
+
+scalar_words!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, char);
+
+impl Words for () {
+    #[inline]
+    fn words(&self) -> usize {
+        0
+    }
+}
+
+impl<A: Words, B: Words> Words for (A, B) {
+    #[inline]
+    fn words(&self) -> usize {
+        self.0.words() + self.1.words()
+    }
+}
+
+impl<A: Words, B: Words, C: Words> Words for (A, B, C) {
+    #[inline]
+    fn words(&self) -> usize {
+        self.0.words() + self.1.words() + self.2.words()
+    }
+}
+
+impl<A: Words, B: Words, C: Words, D: Words> Words for (A, B, C, D) {
+    #[inline]
+    fn words(&self) -> usize {
+        self.0.words() + self.1.words() + self.2.words() + self.3.words()
+    }
+}
+
+impl<T: Words> Words for Vec<T> {
+    fn words(&self) -> usize {
+        1 + self.iter().map(Words::words).sum::<usize>()
+    }
+}
+
+impl<T: Words> Words for Box<T> {
+    fn words(&self) -> usize {
+        self.as_ref().words()
+    }
+}
+
+impl<T: Words> Words for Option<T> {
+    fn words(&self) -> usize {
+        1 + self.as_ref().map_or(0, Words::words)
+    }
+}
+
+impl Words for String {
+    fn words(&self) -> usize {
+        1 + self.len().div_ceil(8)
+    }
+}
+
+impl<T: Words, const N: usize> Words for [T; N] {
+    fn words(&self) -> usize {
+        self.iter().map(Words::words).sum()
+    }
+}
+
+/// Total word count of a slice of records (no container header — used
+/// for machine-local buffers whose header lives off-cluster).
+pub fn of_slice<T: Words>(items: &[T]) -> usize {
+    items.iter().map(Words::words).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_are_one_word() {
+        assert_eq!(1u64.words(), 1);
+        assert_eq!(1.5f64.words(), 1);
+        assert_eq!(true.words(), 1);
+    }
+
+    #[test]
+    fn tuples_sum_components() {
+        assert_eq!((1u64, 2.0f64).words(), 2);
+        assert_eq!((1u8, 2u8, 3u8).words(), 3);
+        assert_eq!(((1u64, 2u64), 3u64).words(), 3);
+    }
+
+    #[test]
+    fn vec_charges_header_plus_payload() {
+        let v: Vec<u64> = vec![1, 2, 3];
+        assert_eq!(v.words(), 4);
+        let nested: Vec<Vec<u64>> = vec![vec![1], vec![2, 3]];
+        assert_eq!(nested.words(), 1 + 2 + 3);
+    }
+
+    #[test]
+    fn string_rounds_up_to_words() {
+        assert_eq!("12345678".to_string().words(), 2);
+        assert_eq!("123456789".to_string().words(), 3);
+        assert_eq!(String::new().words(), 1);
+    }
+
+    #[test]
+    fn slice_total_has_no_header() {
+        let v: Vec<u64> = vec![1, 2, 3];
+        assert_eq!(of_slice(&v), 3);
+    }
+
+    #[test]
+    fn option_charges_tag() {
+        assert_eq!(Some(5u64).words(), 2);
+        assert_eq!(None::<u64>.words(), 1);
+    }
+}

@@ -1,0 +1,301 @@
+//! Ball partitioning (Definition 2; Charikar et al.).
+//!
+//! A *grid of balls* places a ball of radius `w` at every vertex of a
+//! randomly shifted lattice of cell length `ℓ = 4w`. One grid leaves
+//! gaps, so a **sequence** of independently shifted grids is drawn
+//! (`BuildGrids` in Algorithm 1) and each point joins the first ball
+//! that covers it.
+
+use treeemb_linalg::random;
+
+/// One grid of balls: lattice `shift + ℓ·Z^d`, ball radius `w = ℓ/4`
+/// by the paper's convention (any `w ≤ ℓ/2` keeps balls disjoint).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BallGrid {
+    cell: f64,
+    radius: f64,
+    shift: Vec<f64>,
+}
+
+impl BallGrid {
+    /// Constructs a ball grid with an explicit shift in `[0, cell)^d`.
+    pub fn new(cell: f64, radius: f64, shift: Vec<f64>) -> Self {
+        assert!(cell > 0.0 && radius > 0.0, "scales must be positive");
+        assert!(
+            2.0 * radius <= cell + 1e-12,
+            "balls of radius {radius} overlap at cell length {cell}"
+        );
+        Self {
+            cell,
+            radius,
+            shift,
+        }
+    }
+
+    /// Derives the shift from a counter stream.
+    pub fn from_seed(dim: usize, cell: f64, radius: f64, seed: u64) -> Self {
+        let shift = (0..dim)
+            .map(|j| random::unit_f64(seed, j as u64) * cell)
+            .collect();
+        Self::new(cell, radius, shift)
+    }
+
+    /// Ball radius `w`.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Lattice cell length `ℓ`.
+    pub fn cell(&self) -> f64 {
+        self.cell
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.shift.len()
+    }
+
+    /// The lattice shift vector (each component in `[0, cell)`). Exposed
+    /// so the MPC embedder can broadcast grids as raw words (Lemma 8's
+    /// space accounting).
+    pub fn shift(&self) -> &[f64] {
+        &self.shift
+    }
+
+    /// If `p` lies within radius of its nearest lattice vertex, returns
+    /// that vertex's integer lattice coordinates.
+    pub fn ball_of(&self, p: &[f64]) -> Option<Vec<i64>> {
+        debug_assert_eq!(p.len(), self.dim());
+        let mut sq = 0.0;
+        let mut coords = Vec::with_capacity(p.len());
+        let r2 = self.radius * self.radius;
+        for (x, s) in p.iter().zip(&self.shift) {
+            let t = (x - s) / self.cell;
+            let m = t.round();
+            let e = (t - m) * self.cell;
+            sq += e * e;
+            if sq > r2 {
+                return None; // early exit: already outside every ball
+            }
+            coords.push(m as i64);
+        }
+        Some(coords)
+    }
+}
+
+/// Assignment of a point under a grid sequence: the index of the first
+/// covering grid and the lattice coordinates of the covering ball.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BallAssignment {
+    /// Index of the first grid whose ball covers the point.
+    pub grid_index: u32,
+    /// Lattice coordinates of the covering ball within that grid.
+    pub cell: Vec<i64>,
+}
+
+/// An ordered sequence of independently shifted ball grids at one scale
+/// (the output of `BuildGrids`).
+#[derive(Debug, Clone)]
+pub struct GridSequence {
+    grids: Vec<BallGrid>,
+}
+
+impl GridSequence {
+    /// Builds `count` grids of cell length `4w`, radius `w` (the paper's
+    /// Definition-2 geometry), with shifts derived from `(seed, grid
+    /// index)` counter streams.
+    pub fn build(dim: usize, w: f64, count: usize, seed: u64) -> Self {
+        Self::build_with_cell_factor(dim, w, 4.0, count, seed)
+    }
+
+    /// Builds grids with cell length `factor·w` for radius `w`. The
+    /// paper fixes `factor = 4`; smaller factors (≥ 2, keeping balls
+    /// disjoint) cover more per grid (`V_m/factor^m`) at the price of a
+    /// higher ball-boundary density — the E13 ablation quantifies the
+    /// trade-off.
+    pub fn build_with_cell_factor(
+        dim: usize,
+        w: f64,
+        factor: f64,
+        count: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(count > 0, "need at least one grid");
+        assert!(factor >= 2.0, "balls must stay disjoint (factor >= 2)");
+        let grids = (0..count)
+            .map(|u| BallGrid::from_seed(dim, factor * w, w, random::mix2(seed, u as u64)))
+            .collect();
+        Self { grids }
+    }
+
+    /// Number of grids (`U`).
+    pub fn len(&self) -> usize {
+        self.grids.len()
+    }
+
+    /// True when the sequence holds no grids (never constructed so).
+    pub fn is_empty(&self) -> bool {
+        self.grids.is_empty()
+    }
+
+    /// Ball radius `w` of the sequence.
+    pub fn radius(&self) -> f64 {
+        self.grids[0].radius()
+    }
+
+    /// The grids, in priority order.
+    pub fn grids(&self) -> &[BallGrid] {
+        &self.grids
+    }
+
+    /// Assigns `p` to the first covering ball, or `None` if no grid in
+    /// the sequence covers it (a coverage failure; see Lemma 7 for how
+    /// large `U` must be to make this improbable).
+    pub fn assign(&self, p: &[f64]) -> Option<BallAssignment> {
+        for (u, grid) in self.grids.iter().enumerate() {
+            if let Some(cell) = grid.ball_of(p) {
+                return Some(BallAssignment {
+                    grid_index: u as u32,
+                    cell,
+                });
+            }
+        }
+        None
+    }
+
+    /// Words of memory this sequence occupies when broadcast in MPC
+    /// (one shift vector per grid).
+    pub fn words(&self) -> usize {
+        self.grids.iter().map(|g| g.dim() + 2).sum()
+    }
+}
+
+/// Paper-name alias for [`GridSequence::build`]: Algorithm 1's
+/// `BuildGrids(P^{(j)}, r, U)` subroutine builds the grid sequence a
+/// bucket's ball partitioning draws from.
+pub fn build_grids(dim: usize, w: f64, u: usize, seed: u64) -> GridSequence {
+    GridSequence::build(dim, w, u, seed)
+}
+
+/// Paper-name alias for sequence assignment: Algorithm 1's
+/// `BallPart(P^{(j)}, G)` assigns each projected point to its first
+/// covering ball; `None` entries are coverage failures ("if any ball
+/// partitionings failed, halt and report failure").
+pub fn ball_part(
+    points: &treeemb_geom::PointSet,
+    grids: &GridSequence,
+) -> Vec<Option<BallAssignment>> {
+    points.iter().map(|p| grids.assign(p)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_grids_and_ball_part_paper_aliases() {
+        let ps = treeemb_geom::PointSet::from_rows(&[vec![1.0, 2.0], vec![50.0, 9.0]]);
+        let grids = build_grids(2, 2.0, 100, 5);
+        let assignments = ball_part(&ps, &grids);
+        assert_eq!(assignments.len(), 2);
+        for (i, a) in assignments.iter().enumerate() {
+            assert_eq!(*a, grids.assign(ps.point(i)));
+        }
+    }
+
+    #[test]
+    fn ball_of_detects_coverage() {
+        // Unshifted 1-D grid: cells of length 4, balls of radius 1 at 0, 4, 8...
+        let g = BallGrid::new(4.0, 1.0, vec![0.0]);
+        assert_eq!(g.ball_of(&[0.5]), Some(vec![0]));
+        assert_eq!(g.ball_of(&[3.6]), Some(vec![1]));
+        assert_eq!(g.ball_of(&[2.0]), None, "midpoint is uncovered");
+        assert_eq!(g.ball_of(&[8.4]), Some(vec![2]));
+    }
+
+    #[test]
+    fn ball_of_euclidean_not_linf() {
+        // Point at (0.9, 0.9): within 1 of origin in l-inf but not l2.
+        let g = BallGrid::new(4.0, 1.0, vec![0.0, 0.0]);
+        assert_eq!(g.ball_of(&[0.9, 0.0]), Some(vec![0, 0]));
+        assert_eq!(g.ball_of(&[0.9, 0.9]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_balls_rejected() {
+        let _ = BallGrid::new(1.0, 0.6, vec![0.0]);
+    }
+
+    #[test]
+    fn sequence_assign_prefers_earliest_grid() {
+        let seq = GridSequence::build(2, 1.0, 50, 123);
+        let p = [10.3, -4.7];
+        if let Some(a) = seq.assign(&p) {
+            // Every earlier grid must not cover p.
+            for u in 0..a.grid_index {
+                assert!(seq.grids()[u as usize].ball_of(&p).is_none());
+            }
+            assert!(seq.grids()[a.grid_index as usize].ball_of(&p).is_some());
+        }
+    }
+
+    #[test]
+    fn enough_grids_cover_low_dimensions() {
+        // In 2-D the per-grid cover probability is pi/16 ~ 0.196, so 100
+        // grids miss a point with probability ~ 3e-10.
+        let seq = GridSequence::build(2, 2.0, 100, 7);
+        for i in 0..100 {
+            let p = [i as f64 * 1.37, (i * i % 19) as f64];
+            assert!(seq.assign(&p).is_some(), "point {i} uncovered");
+        }
+    }
+
+    #[test]
+    fn coverage_rate_matches_ball_volume_fraction() {
+        // One grid covers a random point with probability
+        // V_d(w) / (4w)^d; in 2-D that is pi w^2 / 16 w^2 = pi/16.
+        let trials = 4000;
+        let mut covered = 0;
+        for t in 0..trials {
+            let g = BallGrid::from_seed(2, 4.0, 1.0, random::mix2(55, t as u64));
+            // Fixed probe point: randomness of the shift is equivalent to
+            // randomness of the point.
+            if g.ball_of(&[0.0, 0.0]).is_some() {
+                covered += 1;
+            }
+        }
+        let rate = covered as f64 / trials as f64;
+        let expect = std::f64::consts::PI / 16.0;
+        assert!((rate - expect).abs() < 0.02, "rate {rate} vs {expect}");
+    }
+
+    #[test]
+    fn nearby_points_share_balls_when_covered_deep() {
+        let seq = GridSequence::build(3, 5.0, 200, 99);
+        let p = [1.0, 2.0, 3.0];
+        let q = [1.05, 2.0, 3.0];
+        let (ap, aq) = (seq.assign(&p), seq.assign(&q));
+        if let (Some(ap), Some(aq)) = (ap, aq) {
+            if ap.grid_index == aq.grid_index {
+                assert_eq!(
+                    ap.cell, aq.cell,
+                    "same grid must give same ball for close points"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn words_counts_broadcast_size() {
+        let seq = GridSequence::build(4, 1.0, 10, 1);
+        assert_eq!(seq.words(), 10 * 6);
+    }
+
+    #[test]
+    fn sequences_differ_across_seeds() {
+        let a = GridSequence::build(2, 1.0, 5, 1);
+        let b = GridSequence::build(2, 1.0, 5, 2);
+        assert_ne!(a.grids()[0], b.grids()[0]);
+    }
+}

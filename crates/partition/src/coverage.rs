@@ -1,0 +1,145 @@
+//! Coverage analysis for ball partitioning (Lemmas 6 and 7).
+//!
+//! A single grid of balls covers a fixed point with probability exactly
+//! `p_m = V_m(w) / (4w)^m = V_m(1) / 4^m` in bucket dimension `m`, where
+//! `V_m` is the unit-ball volume. Since `1/p_m = 2^{Θ(m log m)}`, the
+//! number of independent grids needed to cover every point w.h.p. grows
+//! exponentially in `m` — the quantitative content of Lemma 6 and the
+//! reason hybrid partitioning splits dimensions into buckets (Lemma 7:
+//! `U = 2^{O((d/r)·log(d/r))} · log(r·logΔ/δ)`).
+
+/// Volume of the unit ball in `R^m`, via the half-integer recursion
+/// `V_m = V_{m-2} · 2π/m` with `V_0 = 1`, `V_1 = 2` (exact, no Γ).
+pub fn unit_ball_volume(m: usize) -> f64 {
+    match m {
+        0 => 1.0,
+        1 => 2.0,
+        _ => unit_ball_volume(m - 2) * 2.0 * std::f64::consts::PI / m as f64,
+    }
+}
+
+/// Probability that one random ball grid (cell `4w`, radius `w`) covers
+/// a fixed point in dimension `m`.
+pub fn per_grid_cover_prob(m: usize) -> f64 {
+    per_grid_cover_prob_factor(m, 4.0)
+}
+
+/// Cover probability for a general cell factor (`cell = factor·w`):
+/// `V_m / factor^m`. `factor = 2` (touching balls) maximizes coverage
+/// while keeping balls disjoint.
+pub fn per_grid_cover_prob_factor(m: usize, factor: f64) -> f64 {
+    assert!(factor >= 2.0);
+    unit_ball_volume(m) / factor.powi(m as i32)
+}
+
+/// Number of grids needed so that each of `union_targets` points (union
+/// bound over points, buckets, and levels) stays uncovered with
+/// probability at most `fail_prob`:
+/// `U = ⌈ln(union_targets / fail_prob) / p_m⌉`.
+///
+/// This is the concrete instantiation of Lemma 7's
+/// `U = 2^{O(m log m)} · log(r·logΔ/δ)` with the constant in the
+/// exponent made explicit through `p_m`.
+pub fn grids_needed(m: usize, union_targets: usize, fail_prob: f64) -> usize {
+    assert!(m >= 1, "bucket dimension must be positive");
+    assert!(fail_prob > 0.0 && fail_prob < 1.0);
+    let p = per_grid_cover_prob(m);
+    let ln_term = ((union_targets.max(1) as f64) / fail_prob).ln().max(1.0);
+    (ln_term / p).ceil() as usize
+}
+
+/// Empirically measures how many grids a `GridSequence`-style process
+/// needs before a probe point is covered, averaged over `trials`
+/// independent probes. Feeds experiment E6.
+///
+/// Returns `(mean, max)` over the trials; probes that stay uncovered
+/// after `cap` grids count as `cap`.
+pub fn empirical_grids_to_cover(m: usize, trials: usize, cap: usize, seed: u64) -> (f64, usize) {
+    use treeemb_linalg::random::mix2;
+    let mut total = 0usize;
+    let mut worst = 0usize;
+    for t in 0..trials {
+        // Randomly shifted grid vs fixed probe == fixed grid vs random
+        // probe; probe the origin.
+        let probe = vec![0.0; m];
+        let mut used = cap;
+        for u in 0..cap {
+            let g = crate::ball::BallGrid::from_seed(m, 4.0, 1.0, mix2(seed, (t * cap + u) as u64));
+            if g.ball_of(&probe).is_some() {
+                used = u + 1;
+                break;
+            }
+        }
+        total += used;
+        worst = worst.max(used);
+    }
+    (total as f64 / trials as f64, worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_ball_volumes() {
+        assert!((unit_ball_volume(2) - std::f64::consts::PI).abs() < 1e-12);
+        assert!((unit_ball_volume(3) - 4.0 / 3.0 * std::f64::consts::PI).abs() < 1e-12);
+        assert!((unit_ball_volume(4) - std::f64::consts::PI.powi(2) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn volumes_peak_at_dimension_five() {
+        // Classic fact: V_m is maximized at m = 5.
+        let peak = unit_ball_volume(5);
+        for m in [1usize, 2, 3, 4, 6, 7, 8] {
+            assert!(unit_ball_volume(m) < peak, "m={m}");
+        }
+    }
+
+    #[test]
+    fn cover_prob_decays_superexponentially() {
+        // 1/p_m should grow faster than 4^m (by the Gamma factor).
+        let mut prev_ratio = 0.0;
+        for m in 1..10 {
+            let ratio = per_grid_cover_prob(m) / per_grid_cover_prob(m + 1);
+            assert!(ratio > prev_ratio, "ratio must increase with m");
+            prev_ratio = ratio;
+        }
+        assert!(per_grid_cover_prob(10) < 1e-5);
+    }
+
+    #[test]
+    fn grids_needed_scales_with_union_targets() {
+        let small = grids_needed(3, 10, 0.01);
+        let large = grids_needed(3, 10_000, 0.01);
+        assert!(large > small);
+        // Logarithmic growth: 1000x more targets ~ +ln(1000)/p.
+        assert!((large - small) as f64 / small as f64 <= 3.0);
+    }
+
+    #[test]
+    fn grids_needed_explodes_with_bucket_dimension() {
+        let m3 = grids_needed(3, 100, 0.01);
+        let m8 = grids_needed(8, 100, 0.01);
+        assert!(m8 > 50 * m3, "m=8 needs {m8}, m=3 needs {m3}");
+    }
+
+    #[test]
+    fn empirical_coverage_matches_analytic_rate() {
+        let m = 2;
+        let (mean, _max) = empirical_grids_to_cover(m, 2000, 200, 42);
+        let expect = 1.0 / per_grid_cover_prob(m); // geometric mean 1/p
+        assert!(
+            (mean - expect).abs() < 0.15 * expect,
+            "mean {mean} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn analytic_u_suffices_empirically() {
+        let m = 3;
+        let cap = grids_needed(m, 2000, 0.01);
+        let (_, worst) = empirical_grids_to_cover(m, 2000, cap, 7);
+        assert!(worst < cap, "a probe exhausted the Lemma-7 budget");
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for the partitioning layer: geometric invariants that
+//! must hold for every point, scale, and seed.
+
+use proptest::prelude::*;
+use treeemb_geom::metrics::dist;
+use treeemb_partition::ball::{BallGrid, GridSequence};
+use treeemb_partition::grid::ShiftedGrid;
+use treeemb_partition::hybrid::HybridLevel;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn covered_point_is_within_radius_of_its_ball(
+        seed in 0u64..100_000,
+        x in -500f64..500.0,
+        y in -500f64..500.0,
+        w in 0.5f64..50.0,
+    ) {
+        let g = BallGrid::from_seed(2, 4.0 * w, w, seed);
+        if let Some(cell) = g.ball_of(&[x, y]) {
+            // Reconstruct the ball center: shift + cell * cell-length.
+            let center: Vec<f64> = cell
+                .iter()
+                .zip(g.shift())
+                .map(|(&c, &s)| s + c as f64 * 4.0 * w)
+                .collect();
+            prop_assert!(dist(&center, &[x, y]) <= w * (1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn points_in_same_ball_are_within_diameter(
+        seed in 0u64..100_000,
+        x in -100f64..100.0,
+        y in -100f64..100.0,
+        dx in -10f64..10.0,
+        dy in -10f64..10.0,
+        w in 1.0f64..20.0,
+    ) {
+        let g = BallGrid::from_seed(2, 4.0 * w, w, seed);
+        let p = [x, y];
+        let q = [x + dx, y + dy];
+        if let (Some(cp), Some(cq)) = (g.ball_of(&p), g.ball_of(&q)) {
+            if cp == cq {
+                prop_assert!(dist(&p, &q) <= 2.0 * w * (1.0 + 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn sequence_assignment_respects_priority(
+        seed in 0u64..100_000,
+        x in -100f64..100.0,
+        y in -100f64..100.0,
+    ) {
+        let seq = GridSequence::build(2, 2.0, 40, seed);
+        if let Some(a) = seq.assign(&[x, y]) {
+            for u in 0..a.grid_index as usize {
+                prop_assert!(
+                    seq.grids()[u].ball_of(&[x, y]).is_none(),
+                    "earlier grid {u} covered the point"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grid_cells_partition_space_consistently(
+        seed in 0u64..100_000,
+        x in -1000f64..1000.0,
+        w in 0.1f64..100.0,
+    ) {
+        // A point strictly inside a cell stays in the same cell under
+        // tiny perturbation.
+        let g = ShiftedGrid::from_seed(1, w, seed);
+        let cell = g.cell_of(&[x]);
+        let lo = g.cell_of(&[x - 1e-12 * w]);
+        let hi = g.cell_of(&[x + 1e-12 * w]);
+        prop_assert!(cell == lo || cell == hi);
+    }
+
+    #[test]
+    fn hybrid_equals_bucketwise_ball_partitions(
+        seed in 0u64..100_000,
+        coords in proptest::collection::vec(-50f64..50.0, 6),
+    ) {
+        // Definition 3: the hybrid assignment IS the tuple of per-bucket
+        // ball assignments of the projections.
+        let lvl = HybridLevel::new(6, 3, 5.0, 200, seed);
+        let p: Vec<f64> = coords;
+        if let Some(a) = lvl.assign(&p) {
+            prop_assert_eq!(a.buckets.len(), 3);
+            for (j, seq) in lvl.sequences().iter().enumerate() {
+                let proj = &p[j * 2..(j + 1) * 2];
+                let direct = seq.assign(proj).expect("bucket covered in hybrid");
+                prop_assert_eq!(&a.buckets[j], &direct);
+            }
+        }
+    }
+
+    #[test]
+    fn cell_factor_two_covers_dimension_one_completely(
+        seed in 0u64..100_000,
+        x in -1000f64..1000.0,
+        w in 0.5f64..50.0,
+    ) {
+        // In 1-D with cell = 2w, every point is within w of some vertex.
+        let seq = GridSequence::build_with_cell_factor(1, w, 2.0, 1, seed);
+        prop_assert!(seq.assign(&[x]).is_some());
+    }
+}

@@ -1,0 +1,64 @@
+//! The full Theorem-1 MPC pipeline on high-dimensional data: FJLT
+//! dimension reduction, then hybrid-partitioning embedding — with the
+//! metered round/space profile printed.
+//!
+//! ```text
+//! cargo run --release --example fjlt_pipeline
+//! ```
+
+use treeemb::core::pipeline::{run, PipelineConfig};
+use treeemb::geom::{generators, metrics};
+
+fn main() {
+    // 64 points on a noisy 1-D manifold in 2048 ambient dimensions —
+    // high-d data with low intrinsic dimension, where the FJLT shines.
+    let points = generators::noisy_line(64, 2048, 1 << 12, 2.0, 77);
+    println!("input: n={} d={}", points.len(), points.dim());
+
+    let cfg = PipelineConfig {
+        xi: 0.6,
+        threads: 4,
+        ..Default::default()
+    };
+    let report = run(&points, &cfg).expect("pipeline");
+
+    println!("JL applied: {}", report.jl_applied);
+    if let Some(fp) = &report.fjlt {
+        println!(
+            "  FJLT: d={} -> k={} (q={:.4}, padded d={})",
+            fp.d, fp.k, fp.q, fp.d_pad
+        );
+    }
+    println!(
+        "hybrid schedule: r={} levels={} U={} grid-words={}",
+        report.params.r,
+        report.params.num_levels(),
+        report.params.grids_per_bucket,
+        report.params.total_grid_words()
+    );
+    println!("MPC profile (Theorem 1):");
+    println!(
+        "  rounds             : {} (of which FJLT: {})",
+        report.rounds, report.fjlt_rounds
+    );
+    println!("  machines           : {}", report.machines);
+    println!("  capacity/machine   : {} words", report.capacity_words);
+    println!("  peak machine words : {}", report.peak_machine_words);
+    println!("  peak total words   : {}", report.peak_total_words);
+
+    // The tree dominates the original metric up to the JL contraction.
+    let emb = &report.embedding;
+    let mut worst: f64 = f64::INFINITY;
+    for i in 0..points.len() {
+        for j in (i + 1)..points.len() {
+            let e = metrics::dist(points.point(i), points.point(j));
+            if e > 0.0 {
+                worst = worst.min(emb.tree_distance(i, j) / e);
+            }
+        }
+    }
+    println!(
+        "worst dist_T/euclid = {worst:.3} (must be >= 1-ξ = {:.3})",
+        1.0 - cfg.xi
+    );
+}

@@ -1,0 +1,64 @@
+//! Quickstart: embed a point set into a tree, inspect the guarantees.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use treeemb::core::audit::{check_domination, estimate_expected_distortion};
+use treeemb::core::params::HybridParams;
+use treeemb::core::seq::SeqEmbedder;
+use treeemb::geom::{generators, metrics};
+
+fn main() {
+    // 1. A dataset: 200 integer points in [1024]^8 (the paper's [Δ]^d model).
+    let points = generators::uniform_cube(200, 8, 1024, 42);
+    println!(
+        "dataset: n={} d={} aspect-ratio≈{:.0}",
+        points.len(),
+        points.dim(),
+        metrics::aspect_ratio(&points).unwrap()
+    );
+
+    // 2. A hybrid-partitioning schedule with r = 4 buckets (Algorithm 1).
+    let params = HybridParams::for_dataset(&points, 4).expect("schedule");
+    println!(
+        "schedule: r={} levels={} grids/bucket U={} (top scale w0={})",
+        params.r,
+        params.num_levels(),
+        params.grids_per_bucket,
+        params.levels[0]
+    );
+
+    // 3. Embed.
+    let embedder = SeqEmbedder::new(params);
+    let emb = embedder.embed(&points, 7).expect("coverage");
+    println!(
+        "tree: {} nodes, height {}, total weight {:.1}",
+        emb.tree.num_nodes(),
+        emb.tree.height(),
+        emb.tree.total_weight()
+    );
+
+    // 4. Guarantee 1 (Theorem 2): the tree metric dominates Euclidean.
+    let dom = check_domination(&emb, &points);
+    println!(
+        "domination: ok={} (worst dist_T/euclid = {:.3} over {} pairs)",
+        dom.ok, dom.worst_ratio, dom.pairs
+    );
+
+    // 5. Guarantee 2: expected distortion, estimated over 10 trees.
+    let est = estimate_expected_distortion(&points, 10, |seed| embedder.embed(&points, seed))
+        .expect("estimate");
+    println!(
+        "expected distortion: max-pair {:.2}, mean-pair {:.2} (worst single tree {:.2})",
+        est.expected_distortion, est.mean_ratio, est.worst_single_tree
+    );
+
+    // 6. Look at one pair.
+    let (p, q) = (0, 1);
+    println!(
+        "pair ({p},{q}): euclidean {:.2}, this tree {:.2}",
+        metrics::dist(points.point(p), points.point(q)),
+        emb.tree_distance(p, q)
+    );
+}

@@ -1,0 +1,37 @@
+//! # treeemb — Massively Parallel Tree Embeddings for High Dimensional Spaces
+//!
+//! Facade crate re-exporting the whole workspace: a reproduction of
+//! Ahanchi, Andoni, Hajiaghayi, Knittel & Zhong, *"Massively Parallel
+//! Tree Embeddings for High Dimensional Spaces"* (SPAA 2023).
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use treeemb::geom::generators;
+//! use treeemb::core::{seq::SeqEmbedder, params::HybridParams};
+//!
+//! // 128 integer points in [1024]^8.
+//! let points = generators::uniform_cube(128, 8, 1024, 42);
+//! // Hybrid partitioning with r = 2 buckets (paper Algorithm 1).
+//! let params = HybridParams::for_dataset(&points, 2).unwrap();
+//! let emb = SeqEmbedder::new(params).embed(&points, 7).expect("coverage");
+//! // The tree metric dominates the Euclidean metric ...
+//! let t = emb.tree_distance(0, 1);
+//! let e = treeemb::geom::metrics::dist(points.point(0), points.point(1));
+//! assert!(t >= e * (1.0 - 1e-9));
+//! ```
+//!
+//! See the crate-level docs of each member for details:
+//! [`geom`], [`mpc`], [`linalg`], [`fjlt`], [`partition`], [`hst`],
+//! [`core`], [`apps`].
+
+pub mod io;
+
+pub use treeemb_apps as apps;
+pub use treeemb_core as core;
+pub use treeemb_fjlt as fjlt;
+pub use treeemb_geom as geom;
+pub use treeemb_hst as hst;
+pub use treeemb_linalg as linalg;
+pub use treeemb_mpc as mpc;
+pub use treeemb_partition as partition;

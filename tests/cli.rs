@@ -1,0 +1,95 @@
+//! End-to-end tests of the `treeemb` CLI binary.
+
+use std::process::Command;
+
+fn treeemb(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_treeemb"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn tmp(name: &str) -> String {
+    let dir = std::env::temp_dir().join("treeemb-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name).to_string_lossy().into_owned()
+}
+
+#[test]
+fn gen_embed_mst_pipeline() {
+    let pts = tmp("pipe.csv");
+    let tree = tmp("pipe.json");
+    let (ok, out, err) = treeemb(&["gen", "--n", "40", "--d", "6", "--seed", "3", "--out", &pts]);
+    assert!(ok, "gen failed: {err}");
+    assert!(out.contains("wrote 40 x 6"));
+
+    let (ok, out, err) = treeemb(&[
+        "embed", "--input", &pts, "--r", "3", "--seed", "5", "--out", &tree,
+    ]);
+    assert!(ok, "embed failed: {err}");
+    assert!(out.contains("embedded n=40"));
+
+    // The saved tree round-trips through the persistence layer.
+    let json = std::fs::read_to_string(&tree).unwrap();
+    let t = treeemb::hst::Hst::from_json(&json).unwrap();
+    assert_eq!(t.num_points(), 40);
+
+    let (ok, out, err) = treeemb(&["mst", "--input", &pts, "--r", "3", "--exact"]);
+    assert!(ok, "mst failed: {err}");
+    assert!(out.contains("approximation ratio"));
+    let ratio: f64 = out
+        .lines()
+        .find(|l| l.contains("ratio"))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .expect("ratio parses");
+    assert!((1.0..20.0).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn emd_and_kmedian_subcommands() {
+    let pts = tmp("apps.csv");
+    let (ok, _, err) = treeemb(&[
+        "gen", "--n", "30", "--d", "6", "--kind", "clusters", "--seed", "9", "--out", &pts,
+    ]);
+    assert!(ok, "{err}");
+
+    let (ok, out, err) = treeemb(&[
+        "emd", "--input", &pts, "--split", "10", "--trees", "3", "--exact",
+    ]);
+    assert!(ok, "emd failed: {err}");
+    assert!(out.contains("tree EMD") && out.contains("exact EMD"));
+
+    let (ok, out, err) = treeemb(&["kmedian", "--input", &pts, "--k", "2", "--trees", "3"]);
+    assert!(ok, "kmedian failed: {err}");
+    assert!(out.contains("2-median"));
+}
+
+#[test]
+fn bad_usage_reports_errors() {
+    let (ok, _, err) = treeemb(&["frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("unknown subcommand"));
+
+    let (ok, _, err) = treeemb(&["embed"]);
+    assert!(!ok);
+    assert!(err.contains("--input"));
+
+    let pts = tmp("bad.csv");
+    std::fs::write(&pts, "1,2\n3\n").unwrap();
+    let (ok, _, err) = treeemb(&["embed", "--input", &pts]);
+    assert!(!ok);
+    assert!(err.contains("columns"), "stderr: {err}");
+}
+
+#[test]
+fn help_prints_usage() {
+    let (ok, out, _) = treeemb(&["help"]);
+    assert!(ok);
+    assert!(out.contains("subcommands"));
+}

@@ -1,0 +1,121 @@
+//! Cross-crate integration tests: the full pipeline feeding every
+//! application, and the sequential/MPC agreement end to end.
+
+use treeemb::apps::densest_ball::densest_cluster;
+use treeemb::apps::emd::{exact_emd, tree_emd};
+use treeemb::apps::exact::prim;
+use treeemb::apps::mst::tree_mst;
+use treeemb::core::audit::check_domination;
+use treeemb::core::params::HybridParams;
+use treeemb::core::pipeline::{run, PipelineConfig};
+use treeemb::core::seq::SeqEmbedder;
+use treeemb::geom::{generators, metrics};
+
+#[test]
+fn pipeline_tree_feeds_all_three_applications() {
+    let n = 60;
+    let points = generators::gaussian_clusters(n, 8, 4, 3.0, 1 << 10, 5);
+    let cfg = PipelineConfig {
+        r: Some(4),
+        threads: 2,
+        ..Default::default()
+    };
+    let report = run(&points, &cfg).expect("pipeline");
+    let emb = &report.embedding;
+
+    // Domination end to end (no JL on d=8, so full domination).
+    assert!(!report.jl_applied);
+    let dom = check_domination(emb, &points);
+    assert!(dom.ok, "worst ratio {}", dom.worst_ratio);
+
+    // MST.
+    let st = tree_mst(emb, &points);
+    assert!(prim::is_spanning_tree(n, &st.edges));
+    let exact = prim::mst(&points);
+    assert!(st.cost >= exact.cost * (1.0 - 1e-9));
+    assert!(
+        st.cost <= 15.0 * exact.cost,
+        "MST ratio {}",
+        st.cost / exact.cost
+    );
+
+    // EMD.
+    let a: Vec<usize> = (0..n / 2).collect();
+    let b: Vec<usize> = (n / 2..n).collect();
+    let te = tree_emd(emb, &a, &b);
+    let ee = exact_emd(&points, &a, &b);
+    assert!(te >= ee * (1.0 - 1e-9));
+
+    // Densest ball.
+    let cluster = densest_cluster(emb, 100.0);
+    assert!(cluster.count >= 1);
+    let members = points.select(&cluster.points);
+    assert!(metrics::diameter(&members) <= cluster.tree_diameter_bound + 1e-9);
+}
+
+#[test]
+fn mpc_pipeline_agrees_with_sequential_embedding() {
+    let points = generators::uniform_cube(40, 8, 512, 11);
+    let params = HybridParams::for_dataset(&points, 4).unwrap();
+    let seed = 3;
+    let seq = SeqEmbedder::new(params.clone())
+        .embed(&points, seed)
+        .unwrap();
+
+    let cfg = PipelineConfig {
+        r: Some(4),
+        seed,
+        threads: 2,
+        ..Default::default()
+    };
+    let report = run(&points, &cfg).expect("pipeline");
+    for i in 0..points.len() {
+        for j in (i + 1)..points.len() {
+            let a = seq.tree_distance(i, j);
+            let b = report.embedding.tree_distance(i, j);
+            assert!((a - b).abs() < 1e-9 * (1.0 + a), "({i},{j}): {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn high_dimensional_pipeline_is_usable_downstream() {
+    // 600-dimensional input: JL runs, then the tree still answers MST
+    // queries on the original points.
+    let n = 32;
+    let points = generators::noisy_line(n, 600, 1 << 10, 1.5, 9);
+    let cfg = PipelineConfig {
+        xi: 0.7,
+        threads: 2,
+        ..Default::default()
+    };
+    let report = run(&points, &cfg).expect("pipeline");
+    assert!(report.jl_applied);
+    let st = tree_mst(&report.embedding, &points);
+    assert!(prim::is_spanning_tree(n, &st.edges));
+    let exact = prim::mst(&points);
+    // JL with xi=0.7 plus tree distortion: stay within a generous factor.
+    assert!(
+        st.cost <= 60.0 * exact.cost,
+        "ratio {}",
+        st.cost / exact.cost
+    );
+    assert!(st.cost >= exact.cost * (1.0 - 0.7) * (1.0 - 1e-9));
+}
+
+#[test]
+fn failure_reporting_is_clean_not_a_panic() {
+    // Absurdly small machine capacity: the pipeline must report an MPC
+    // failure (Theorem 1's "reports failure"), not panic.
+    let points = generators::uniform_cube(64, 8, 512, 13);
+    let cfg = PipelineConfig {
+        r: Some(4),
+        capacity: Some(32),
+        machines: Some(4),
+        threads: 2,
+        ..Default::default()
+    };
+    let err = run(&points, &cfg).unwrap_err();
+    let msg = err.to_string();
+    assert!(!msg.is_empty());
+}
