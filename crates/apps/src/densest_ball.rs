@@ -90,14 +90,20 @@ mod tests {
     #[test]
     fn recovers_most_of_a_well_separated_plant() {
         // A tight plant in a huge empty space: some level isolates it.
+        // The guarantee is per random tree with constant probability, so
+        // take the best recovery over a handful of seeds.
         let inst = generators::planted_ball(60, 8, 25, 8.0, 1 << 14, 5);
-        let emb = embed(&inst.points, 4, 2);
-        // Generous beta (the paper allows O(log^1.5 n)).
-        let result = densest_cluster(&emb, 8.0 * 40.0);
+        let best = (1..=5)
+            .map(|seed| {
+                let emb = embed(&inst.points, 4, seed);
+                // Generous beta (the paper allows O(log^1.5 n)).
+                densest_cluster(&emb, 8.0 * 40.0).count
+            })
+            .max()
+            .unwrap();
         assert!(
-            result.count >= 20,
-            "expected most of the 25 planted points, got {}",
-            result.count
+            best >= 20,
+            "expected most of the 25 planted points, got {best}"
         );
     }
 

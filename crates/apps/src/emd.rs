@@ -94,7 +94,7 @@ mod tests {
         let a: Vec<usize> = (0..20).collect();
         let b: Vec<usize> = (20..40).collect();
         let exact = exact_emd(&ps, &a, &b).max(1e-9);
-        let trials = 8;
+        let trials = 16;
         let mean_tree: f64 = (0..trials)
             .map(|s| tree_emd(&embed(&ps, s), &a, &b))
             .sum::<f64>()

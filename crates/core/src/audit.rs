@@ -24,19 +24,41 @@ pub struct DominationReport {
 
 /// Checks domination of the tree metric over the Euclidean metric.
 pub fn check_domination(emb: &Embedding, ps: &PointSet) -> DominationReport {
+    check_domination_parallel(emb, ps, 1)
+}
+
+/// [`check_domination`] with the `O(n²)` pair sweep fanned out over
+/// `threads` workers, one row per work item. Partial results are folded
+/// in row order, so the report is independent of the thread count.
+pub fn check_domination_parallel(
+    emb: &Embedding,
+    ps: &PointSet,
+    threads: usize,
+) -> DominationReport {
     let n = ps.len();
+    let rows: Vec<(f64, usize)> = treeemb_mpc::exec::par_map_indexed(
+        (0..n).collect::<Vec<usize>>(),
+        threads.max(1),
+        |_, i| {
+            let mut worst = f64::INFINITY;
+            let mut pairs = 0usize;
+            for j in (i + 1)..n {
+                let e = dist(ps.point(i), ps.point(j));
+                if e == 0.0 {
+                    continue;
+                }
+                let t = emb.tree_distance(i, j);
+                worst = worst.min(t / e);
+                pairs += 1;
+            }
+            (worst, pairs)
+        },
+    );
     let mut worst = f64::INFINITY;
     let mut pairs = 0usize;
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let e = dist(ps.point(i), ps.point(j));
-            if e == 0.0 {
-                continue;
-            }
-            let t = emb.tree_distance(i, j);
-            worst = worst.min(t / e);
-            pairs += 1;
-        }
+    for (row_worst, row_pairs) in rows {
+        worst = worst.min(row_worst);
+        pairs += row_pairs;
     }
     if pairs == 0 {
         return DominationReport {
@@ -76,6 +98,20 @@ pub struct DistortionEstimate {
 pub fn estimate_expected_distortion(
     ps: &PointSet,
     trials: usize,
+    build: impl FnMut(u64) -> Result<Embedding, EmbedError>,
+) -> Result<DistortionEstimate, EmbedError> {
+    estimate_expected_distortion_threads(ps, trials, 1, build)
+}
+
+/// [`estimate_expected_distortion`] with each tree's `O(n²)` distance
+/// sweep fanned out over `threads` workers (one row per work item;
+/// accumulation stays in row order, so the estimate is independent of
+/// the thread count). Trees are still built serially — `build` may be
+/// stateful.
+pub fn estimate_expected_distortion_threads(
+    ps: &PointSet,
+    trials: usize,
+    threads: usize,
     mut build: impl FnMut(u64) -> Result<Embedding, EmbedError>,
 ) -> Result<DistortionEstimate, EmbedError> {
     assert!(trials >= 1);
@@ -84,15 +120,28 @@ pub fn estimate_expected_distortion(
     let mut worst_single: f64 = 0.0;
     for t in 0..trials {
         let emb = build(t as u64)?;
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let td = emb.tree_distance(i, j);
-                sums[i * n + j] += td;
-                let e = dist(ps.point(i), ps.point(j));
-                if e > 0.0 {
-                    worst_single = worst_single.max(td / e);
+        let rows: Vec<(Vec<f64>, f64)> = treeemb_mpc::exec::par_map_indexed(
+            (0..n).collect::<Vec<usize>>(),
+            threads.max(1),
+            |_, i| {
+                let mut tds = Vec::with_capacity(n - i - 1);
+                let mut row_worst: f64 = 0.0;
+                for j in (i + 1)..n {
+                    let td = emb.tree_distance(i, j);
+                    tds.push(td);
+                    let e = dist(ps.point(i), ps.point(j));
+                    if e > 0.0 {
+                        row_worst = row_worst.max(td / e);
+                    }
                 }
+                (tds, row_worst)
+            },
+        );
+        for (i, (tds, row_worst)) in rows.into_iter().enumerate() {
+            for (k, td) in tds.into_iter().enumerate() {
+                sums[i * n + (i + 1 + k)] += td;
             }
+            worst_single = worst_single.max(row_worst);
         }
     }
     let mut max_ratio: f64 = 0.0;
@@ -164,6 +213,23 @@ mod tests {
         let est = estimate_expected_distortion(&ps, 8, |seed| emb.embed(&ps, seed)).unwrap();
         assert!(est.mean_ratio <= est.expected_distortion);
         assert!(est.expected_distortion < est.worst_single_tree * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn parallel_audits_match_serial_bitwise() {
+        let ps = generators::uniform_cube(18, 8, 256, 13);
+        let params = HybridParams::for_dataset(&ps, 4).unwrap();
+        let embedder = SeqEmbedder::new(params);
+        let emb = embedder.embed(&ps, 6).unwrap();
+        let serial = check_domination(&emb, &ps);
+        for threads in [2, 8] {
+            assert_eq!(serial, check_domination_parallel(&emb, &ps, threads));
+        }
+        let est1 =
+            estimate_expected_distortion_threads(&ps, 4, 1, |s| embedder.embed(&ps, s)).unwrap();
+        let est8 =
+            estimate_expected_distortion_threads(&ps, 4, 8, |s| embedder.embed(&ps, s)).unwrap();
+        assert_eq!(est1, est8, "estimate must not depend on thread count");
     }
 
     #[test]

@@ -194,9 +194,12 @@ pub fn embed_mpc_full(
             let mut nodes = Vec::with_capacity(levels_for_paths.len());
             let mut failed = None;
             for (level, lvl) in levels_for_paths.iter().enumerate() {
-                match lvl.assign(&rec.coords) {
-                    Some(assignment) => {
-                        chain = assignment.absorb_into(chain.absorb(level as u64));
+                // Streams the assignment tokens straight into the chain —
+                // the same digest `assign(..).absorb_into(..)` produces,
+                // without materializing per-bucket lattice cells.
+                match lvl.absorb_assignment_into(&rec.coords, chain.absorb(level as u64)) {
+                    Some(next) => {
+                        chain = next;
                         nodes.push((chain.value(), params_paths.edge_weight(level), level as u32));
                     }
                     None => {
@@ -322,7 +325,7 @@ impl Words for EdgeMsg {
 fn failing_bucket(level: &HybridLevel, p: &[f64]) -> usize {
     let m = level.bucket_dim();
     for (j, seq) in level.sequences().iter().enumerate() {
-        if seq.assign(&p[j * m..(j + 1) * m]).is_none() {
+        if seq.first_covering(&p[j * m..(j + 1) * m]).is_none() {
             return j;
         }
     }

@@ -14,7 +14,7 @@ use std::collections::VecDeque;
 use treeemb_geom::PointSet;
 use treeemb_hst::{Hst, HstBuilder};
 use treeemb_linalg::random::mix3;
-use treeemb_partition::{grid::ShiftedGrid, HybridLevel, LevelAssignment};
+use treeemb_partition::{grid::ShiftedGrid, HybridLevel, LevelAssignment, PackedLevelKey};
 
 /// Domain tag for hybrid-level seeds (shared with the MPC embedder so
 /// both derive identical grids).
@@ -170,10 +170,97 @@ impl SeqEmbedder {
         seed: u64,
         threads: usize,
     ) -> Result<Embedding, EmbedError> {
+        if exact_keys_requested() {
+            return self.embed_exact_keys(ps, seed, threads);
+        }
         let padded = ps.zero_pad(self.params.dim);
         let levels = self.build_levels(seed);
-        // Precompute every (point, level) assignment — the embedding hot
-        // path — in parallel.
+        let tree = self.packed_hierarchy(&padded, &levels, threads)?;
+        Ok(Embedding {
+            tree,
+            method: "hybrid",
+            seed,
+        })
+    }
+
+    /// [`Self::embed`] via the exact-key verification path: partitions
+    /// are grouped by the materialized per-bucket lattice cells instead
+    /// of packed 128-bit hashes. Produces the identical tree (unless a
+    /// ~2⁻¹²⁸-probability hash collision separates the paths); kept
+    /// callable for verification and for the kernel snapshot bench.
+    /// Setting `TREEEMB_EXACT_KEYS=1` routes [`Self::embed`] here too.
+    pub fn embed_exact_keys(
+        &self,
+        ps: &PointSet,
+        seed: u64,
+        threads: usize,
+    ) -> Result<Embedding, EmbedError> {
+        let padded = ps.zero_pad(self.params.dim);
+        let levels = self.build_levels(seed);
+        let tree = self.exact_hierarchy(&padded, &levels, threads)?;
+        Ok(Embedding {
+            tree,
+            method: "hybrid",
+            seed,
+        })
+    }
+
+    /// The default hot path: every (point, level) assignment is hashed
+    /// into a copyable 128-bit [`PackedLevelKey`] in parallel, so
+    /// grouping never clones per-bucket lattice cells. The resulting
+    /// tree equals the exact path's whp (packed keys collide with
+    /// probability ~2^-128 per pair; see the partition proptests).
+    fn packed_hierarchy(
+        &self,
+        padded: &PointSet,
+        levels: &[HybridLevel],
+        threads: usize,
+    ) -> Result<treeemb_hst::Hst, EmbedError> {
+        let per_point: Vec<Result<Vec<PackedLevelKey>, EmbedError>> =
+            treeemb_mpc::exec::par_map_indexed(
+                (0..padded.len()).collect::<Vec<usize>>(),
+                threads,
+                |_, p| {
+                    levels
+                        .iter()
+                        .enumerate()
+                        .map(|(level, lvl)| {
+                            lvl.assign_packed(padded.point(p)).ok_or_else(|| {
+                                let bucket = failing_bucket(lvl, padded.point(p));
+                                EmbedError::CoverageFailure {
+                                    level,
+                                    bucket,
+                                    point: p,
+                                }
+                            })
+                        })
+                        .collect()
+                },
+            );
+        let mut keys = Vec::with_capacity(per_point.len());
+        for r in per_point {
+            keys.push(r?);
+        }
+        build_hierarchy(
+            padded.len(),
+            levels.len(),
+            |level, p| Ok(keys[p][level]),
+            |level| self.params.edge_weight(level),
+            |level| self.params.tail_weight(level),
+        )
+    }
+
+    /// The exact-key verification path (`TREEEMB_EXACT_KEYS=1`): groups
+    /// by the materialized per-bucket lattice cells instead of packed
+    /// hashes. Kept for debugging hash-collision suspicions; the
+    /// `exact_and_packed_paths_build_identical_trees` test pins the two
+    /// paths together.
+    fn exact_hierarchy(
+        &self,
+        padded: &PointSet,
+        levels: &[HybridLevel],
+        threads: usize,
+    ) -> Result<treeemb_hst::Hst, EmbedError> {
         let per_point: Vec<Result<Vec<LevelAssignment>, EmbedError>> =
             treeemb_mpc::exec::par_map_indexed(
                 (0..padded.len()).collect::<Vec<usize>>(),
@@ -199,26 +286,27 @@ impl SeqEmbedder {
         for r in per_point {
             assignments.push(r?);
         }
-        let tree = build_hierarchy(
+        build_hierarchy(
             padded.len(),
             levels.len(),
             |level, p| Ok(assignments[p][level].clone()),
             |level| self.params.edge_weight(level),
             |level| self.params.tail_weight(level),
-        )?;
-        Ok(Embedding {
-            tree,
-            method: "hybrid",
-            seed,
-        })
+        )
     }
+}
+
+/// True when `TREEEMB_EXACT_KEYS` selects the exact-key verification
+/// path (any value other than `0`).
+fn exact_keys_requested() -> bool {
+    std::env::var_os("TREEEMB_EXACT_KEYS").is_some_and(|v| v != "0")
 }
 
 /// Which bucket failed to cover `p` (diagnostic for coverage errors).
 fn failing_bucket(level: &HybridLevel, p: &[f64]) -> usize {
     let m = level.bucket_dim();
     for (j, seq) in level.sequences().iter().enumerate() {
-        if seq.assign(&p[j * m..(j + 1) * m]).is_none() {
+        if seq.first_covering(&p[j * m..(j + 1) * m]).is_none() {
             return j;
         }
     }
@@ -361,6 +449,27 @@ mod tests {
                     par.tree_distance(i, j),
                     "({i},{j})"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_and_packed_paths_build_identical_trees() {
+        // The packed 128-bit keys must induce the same grouping as the
+        // materialized per-bucket cells, hence bit-identical trees.
+        let ps = small_set();
+        let params = HybridParams::for_dataset(&ps, 4).unwrap();
+        let e = SeqEmbedder::new(params);
+        for seed in [1u64, 7, 42] {
+            let padded = ps.zero_pad(e.params.dim);
+            let levels = e.build_levels(seed);
+            let packed = e.packed_hierarchy(&padded, &levels, 1).unwrap();
+            let exact = e.exact_hierarchy(&padded, &levels, 1).unwrap();
+            assert_eq!(packed.num_nodes(), exact.num_nodes(), "seed {seed}");
+            for i in 0..ps.len() {
+                for j in (i + 1)..ps.len() {
+                    assert_eq!(packed.distance(i, j), exact.distance(i, j), "({i},{j})");
+                }
             }
         }
     }

@@ -1,7 +1,5 @@
 //! Flat row-major point container.
 
-use serde::{Deserialize, Serialize};
-
 /// A set of `n` points in `R^d`, stored row-major in one contiguous
 /// allocation. Row-major layout keeps a single point's coordinates
 /// adjacent, which is the access pattern of every partitioning and
@@ -16,7 +14,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(ps.point(1), &[4.0, 6.0]);
 /// assert_eq!(treeemb_geom::metrics::dist(ps.point(0), ps.point(1)), 5.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PointSet {
     dim: usize,
     data: Vec<f64>,

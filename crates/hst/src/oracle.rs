@@ -110,6 +110,7 @@ impl DistanceOracle {
     }
 
     /// LCA of two nodes in O(1).
+    #[must_use]
     pub fn lca(&self, a: NodeId, b: NodeId) -> NodeId {
         let (mut i, mut j) = (self.first_pos[a], self.first_pos[b]);
         if i > j {
@@ -128,12 +129,14 @@ impl DistanceOracle {
     }
 
     /// Tree distance between two nodes in O(1).
+    #[must_use]
     pub fn node_distance(&self, a: NodeId, b: NodeId) -> f64 {
         let l = self.lca(a, b);
         self.weight_to_root[a] + self.weight_to_root[b] - 2.0 * self.weight_to_root[l]
     }
 
     /// Tree distance between two points in O(1).
+    #[must_use]
     pub fn distance(&self, p: PointId, q: PointId) -> f64 {
         if p == q {
             return 0.0;
@@ -142,6 +145,7 @@ impl DistanceOracle {
     }
 
     /// Number of points indexed.
+    #[must_use]
     pub fn num_points(&self) -> usize {
         self.leaf_of.len()
     }

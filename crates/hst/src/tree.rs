@@ -32,36 +32,43 @@ pub struct Hst {
 
 impl Hst {
     /// Number of nodes.
+    #[must_use]
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()
     }
 
     /// Number of input points (leaves with point ids).
+    #[must_use]
     pub fn num_points(&self) -> usize {
         self.leaf_of.len()
     }
 
     /// The root node id.
+    #[must_use]
     pub fn root(&self) -> NodeId {
         self.root
     }
 
     /// Borrow a node.
+    #[must_use]
     pub fn node(&self, id: NodeId) -> &Node {
         &self.nodes[id]
     }
 
     /// The leaf node holding point `p`.
+    #[must_use]
     pub fn leaf_of(&self, p: PointId) -> NodeId {
         self.leaf_of[p]
     }
 
     /// Parent of `id`, if any.
+    #[must_use]
     pub fn parent(&self, id: NodeId) -> Option<NodeId> {
         self.nodes[id].parent
     }
 
     /// Children of `id`.
+    #[must_use]
     pub fn children(&self, id: NodeId) -> &[NodeId] {
         &self.nodes[id].children
     }
@@ -73,16 +80,19 @@ impl Hst {
     }
 
     /// Sum of all edge weights.
+    #[must_use]
     pub fn total_weight(&self) -> f64 {
         self.nodes.iter().map(|n| n.weight_to_parent).sum()
     }
 
     /// Maximum leaf depth.
+    #[must_use]
     pub fn height(&self) -> u32 {
         self.nodes.iter().map(|n| n.depth).max().unwrap_or(0)
     }
 
     /// Sum of edge weights from `id` up to the root.
+    #[must_use]
     pub fn weight_to_root(&self, mut id: NodeId) -> f64 {
         let mut total = 0.0;
         while let Some(p) = self.nodes[id].parent {

@@ -1,19 +1,263 @@
 //! Deterministic parallel executor for machine-local computation.
 //!
 //! Machines within an MPC round are independent, so the runtime executes
-//! them concurrently on scoped OS threads (crossbeam). Work is handed out
-//! through an atomic cursor; results are written into per-index slots, so
-//! the output order is independent of scheduling and the whole simulation
-//! stays deterministic.
+//! them concurrently. Two design points keep the hot path cheap:
+//!
+//! * **A persistent worker pool.** Workers are spawned once (lazily, up
+//!   to [`MAX_WORKERS`]) and parked on a condvar between jobs, so each
+//!   `Cluster` round publishes a job descriptor instead of paying thread
+//!   spawn/join costs. The calling thread always participates, so
+//!   `threads = k` means the caller plus `k - 1` pool workers.
+//! * **Chunked atomic-cursor scheduling into pre-sized slots.** Items are
+//!   claimed in contiguous chunks off a single `AtomicUsize`, inputs are
+//!   read by index from the source buffer, and each output is written
+//!   directly into its index's slot. There are no per-item locks and no
+//!   `Option` wrappers on the hot path.
+//!
+//! Determinism: output `i` is exactly `f(i, item_i)` no matter how
+//! chunks land on threads, so results are bit-identical for every thread
+//! count (including the sequential fallback).
+//!
+//! Panics: a panicking closure aborts the remaining chunks, the first
+//! payload is captured, and the caller re-raises it after all
+//! participants have quiesced — never a deadlock. Inputs not yet
+//! consumed and outputs already produced when a panic strikes are leaked
+//! rather than dropped; acceptable for this workspace, where panics in
+//! round closures are programming errors.
+//!
+//! Nested calls (a round closure invoking the executor again) run the
+//! inner call sequentially: the pool executes one job at a time and
+//! re-entry from a participant would otherwise self-deadlock.
 
-use parking_lot::Mutex;
+use std::any::Any;
+use std::mem::MaybeUninit;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Upper bound on pool threads; `threads` arguments beyond
+/// `MAX_WORKERS + 1` still work, they just share these workers.
+const MAX_WORKERS: usize = 31;
+
+/// Cursor chunks handed out per participant (on average); >1 so uneven
+/// per-item costs still balance, small enough to keep claims rare.
+const CHUNKS_PER_PARTICIPANT: usize = 8;
+
+thread_local! {
+    /// True while this thread is executing inside a pool job (either as a
+    /// pool worker or as the publishing caller).
+    static IN_EXECUTOR: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn in_executor() -> bool {
+    IN_EXECUTOR.with(std::cell::Cell::get)
+}
+
+/// Type-erased pointer to a job descriptor living on the caller's stack,
+/// plus the monomorphized entry point that interprets it.
+#[derive(Clone, Copy)]
+struct Job {
+    data: *const (),
+    run: unsafe fn(*const ()),
+}
+
+// SAFETY: the pointed-to descriptor outlives the job (the caller blocks
+// until every participant has finished), and all shared state inside it
+// is atomics, mutexes, and `Sync` closures.
+unsafe impl Send for Job {}
+
+struct PoolState {
+    /// The currently published job, if any. Cleared by the caller before
+    /// it waits for stragglers, so late-waking workers skip it.
+    job: Option<Job>,
+    /// Bumped once per published job; workers use it to tell a fresh job
+    /// from one they already served.
+    epoch: u64,
+    /// Workers currently inside a job's entry point.
+    running: usize,
+    /// Worker threads spawned so far.
+    spawned: usize,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    /// Signals workers that a new job was published.
+    work_cv: Condvar,
+    /// Signals the caller (and queued callers) that the pool drained.
+    idle_cv: Condvar,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(PoolState {
+            job: None,
+            epoch: 0,
+            running: 0,
+            spawned: 0,
+        }),
+        work_cv: Condvar::new(),
+        idle_cv: Condvar::new(),
+    })
+}
+
+fn worker_loop(pool: &'static Pool) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = pool.state.lock().expect("executor pool poisoned");
+            loop {
+                if st.epoch != seen_epoch {
+                    seen_epoch = st.epoch;
+                    if let Some(job) = st.job {
+                        st.running += 1;
+                        break job;
+                    }
+                }
+                st = pool.work_cv.wait(st).expect("executor pool poisoned");
+            }
+        };
+        IN_EXECUTOR.with(|f| f.set(true));
+        // SAFETY: the caller keeps the descriptor alive until `running`
+        // returns to zero, which cannot happen before this call returns.
+        unsafe { (job.run)(job.data) };
+        IN_EXECUTOR.with(|f| f.set(false));
+        let mut st = pool.state.lock().expect("executor pool poisoned");
+        st.running -= 1;
+        if st.running == 0 {
+            pool.idle_cv.notify_all();
+        }
+    }
+}
+
+impl Pool {
+    /// Publishes `job`, participates in it on the calling thread, and
+    /// returns once every participant is done. `helpers` is the number of
+    /// pool workers that should join in addition to the caller.
+    fn run(&'static self, helpers: usize, job: Job) {
+        let helpers = helpers.min(MAX_WORKERS);
+        {
+            let mut st = self.state.lock().expect("executor pool poisoned");
+            // One job at a time: queue behind any in-flight publication.
+            while st.job.is_some() || st.running > 0 {
+                st = self.idle_cv.wait(st).expect("executor pool poisoned");
+            }
+            while st.spawned < helpers {
+                std::thread::Builder::new()
+                    .name(format!("treeemb-exec-{}", st.spawned))
+                    .spawn(move || worker_loop(self))
+                    .expect("spawn executor worker");
+                st.spawned += 1;
+            }
+            st.job = Some(job);
+            st.epoch += 1;
+        }
+        self.work_cv.notify_all();
+        IN_EXECUTOR.with(|f| f.set(true));
+        // SAFETY: the descriptor is on our own stack and stays valid
+        // until the drain below completes.
+        unsafe { (job.run)(job.data) };
+        IN_EXECUTOR.with(|f| f.set(false));
+        let mut st = self.state.lock().expect("executor pool poisoned");
+        st.job = None;
+        while st.running > 0 {
+            st = self.idle_cv.wait(st).expect("executor pool poisoned");
+        }
+        drop(st);
+        // Wake any caller queued on `idle_cv` waiting to publish.
+        self.idle_cv.notify_all();
+    }
+}
+
+/// Shared scheduling core of a job descriptor: chunk claiming, admission
+/// tickets, and first-panic capture.
+struct JobCore {
+    n: usize,
+    chunk: usize,
+    cursor: AtomicUsize,
+    /// Admission tickets, one per allowed participant (including the
+    /// caller); surplus pool workers bow out without touching items.
+    tickets: AtomicUsize,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl JobCore {
+    fn new(n: usize, participants: usize) -> Self {
+        Self {
+            n,
+            chunk: (n / (participants * CHUNKS_PER_PARTICIPANT)).max(1),
+            cursor: AtomicUsize::new(0),
+            tickets: AtomicUsize::new(participants),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn take_ticket(&self) -> bool {
+        self.tickets
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |t| t.checked_sub(1))
+            .is_ok()
+    }
+
+    /// Claims chunks and feeds their index ranges to `work` until the
+    /// items run out; on panic, halts all participants and records the
+    /// first payload.
+    fn drive(&self, work: impl Fn(usize, usize)) {
+        let result = catch_unwind(AssertUnwindSafe(|| loop {
+            let start = self.cursor.fetch_add(self.chunk, Ordering::Relaxed);
+            if start >= self.n {
+                break;
+            }
+            work(start, (start + self.chunk).min(self.n));
+        }));
+        if let Err(payload) = result {
+            // Park the cursor past the end so other participants stop at
+            // their next claim.
+            self.cursor.store(self.n, Ordering::Relaxed);
+            let mut slot = self.panic.lock().expect("panic slot poisoned");
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+    }
+
+    fn into_panic(self) -> Option<Box<dyn Any + Send>> {
+        self.panic.into_inner().expect("panic slot poisoned")
+    }
+}
+
+struct MapJob<'a, T, U, F> {
+    core: JobCore,
+    src: *const T,
+    dst: *mut MaybeUninit<U>,
+    f: &'a F,
+}
+
+unsafe fn run_map<T, U, F>(data: *const ())
+where
+    F: Fn(usize, T) -> U + Sync,
+{
+    let job = &*(data as *const MapJob<'_, T, U, F>);
+    if !job.core.take_ticket() {
+        return;
+    }
+    job.core.drive(|start, end| {
+        for i in start..end {
+            // SAFETY: the cursor dispenses each index exactly once, so
+            // this read moves item `i` out exactly once and the write
+            // below is the only writer of slot `i`.
+            let item = unsafe { std::ptr::read(job.src.add(i)) };
+            let out = (job.f)(i, item);
+            unsafe { (*job.dst.add(i)).write(out) };
+        }
+    });
+}
 
 /// Applies `f` to every `(index, item)` pair, running up to `threads`
-/// workers concurrently, and returns the results in index order.
+/// participants concurrently (the caller plus pooled workers), and
+/// returns the results in index order.
 ///
-/// Falls back to a plain sequential loop when `threads <= 1` or the item
-/// count is tiny (thread spawn costs would dominate).
+/// Falls back to a plain sequential loop when `threads <= 1`, the item
+/// count is tiny, or the call is nested inside another executor job.
 pub fn par_map_indexed<T, U, F>(items: Vec<T>, threads: usize, f: F) -> Vec<U>
 where
     T: Send,
@@ -21,35 +265,68 @@ where
     F: Fn(usize, T) -> U + Sync,
 {
     let n = items.len();
-    if threads <= 1 || n <= 1 {
+    if threads <= 1 || n <= 1 || in_executor() {
         return items
             .into_iter()
             .enumerate()
             .map(|(i, x)| f(i, x))
             .collect();
     }
-    let workers = threads.min(n);
-    let tasks: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
-    let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let item = tasks[i].lock().take().expect("task taken twice");
-                let out = f(i, item);
-                *slots[i].lock() = Some(out);
-            });
+    let participants = threads.min(n);
+    let mut items = items;
+    let src = items.as_ptr();
+    // Elements are now owned by the cursor protocol; the emptied Vec
+    // frees only its buffer on drop (or during unwind).
+    unsafe { items.set_len(0) };
+    let mut out: Vec<MaybeUninit<U>> = Vec::with_capacity(n);
+    // SAFETY: MaybeUninit slots need no initialization; each is written
+    // exactly once before being read back.
+    unsafe { out.set_len(n) };
+    let job = MapJob {
+        core: JobCore::new(n, participants),
+        src,
+        dst: out.as_mut_ptr(),
+        f: &f,
+    };
+    pool().run(
+        participants - 1,
+        Job {
+            data: std::ptr::addr_of!(job).cast(),
+            run: run_map::<T, U, F>,
+        },
+    );
+    if let Some(payload) = job.core.into_panic() {
+        resume_unwind(payload);
+    }
+    // Every index was claimed and completed without panicking, so all n
+    // slots are initialized: reinterpret the buffer as Vec<U>.
+    let (ptr, len, cap) = (out.as_mut_ptr(), out.len(), out.capacity());
+    std::mem::forget(out);
+    unsafe { Vec::from_raw_parts(ptr.cast::<U>(), len, cap) }
+}
+
+struct ForEachJob<'a, T, F> {
+    core: JobCore,
+    base: *mut T,
+    f: &'a F,
+}
+
+unsafe fn run_for_each<T, F>(data: *const ())
+where
+    F: Fn(usize, &mut T) + Sync,
+{
+    let job = &*(data as *const ForEachJob<'_, T, F>);
+    if !job.core.take_ticket() {
+        return;
+    }
+    job.core.drive(|start, end| {
+        for i in start..end {
+            // SAFETY: the cursor dispenses each index exactly once, so no
+            // two participants alias the same element.
+            let item = unsafe { &mut *job.base.add(i) };
+            (job.f)(i, item);
         }
-    })
-    .expect("executor worker panicked");
-    slots
-        .into_iter()
-        .map(|s| s.into_inner().expect("missing result slot"))
-        .collect()
+    });
 }
 
 /// Parallel for-each over `(index, &mut item)` pairs; in-place variant of
@@ -60,38 +337,28 @@ where
     F: Fn(usize, &mut T) + Sync,
 {
     let n = items.len();
-    if threads <= 1 || n <= 1 {
+    if threads <= 1 || n <= 1 || in_executor() {
         for (i, x) in items.iter_mut().enumerate() {
             f(i, x);
         }
         return;
     }
-    let workers = threads.min(n);
-    let cursor = AtomicUsize::new(0);
-    // Hand out disjoint &mut access through raw pointers guarded by the
-    // unique-index protocol: the atomic cursor yields each index once.
-    struct Ptr<T>(*mut T);
-    unsafe impl<T: Send> Sync for Ptr<T> {}
-    let base = Ptr(items.as_mut_ptr());
-    let base_ref = &base;
-    let cursor = &cursor;
-    let f = &f;
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(move |_| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                // SAFETY: each index is dispensed exactly once by the
-                // atomic cursor, so no two threads alias the same element,
-                // and the crossbeam scope outlives no borrow.
-                let item = unsafe { &mut *base_ref.0.add(i) };
-                f(i, item);
-            });
-        }
-    })
-    .expect("executor worker panicked");
+    let participants = threads.min(n);
+    let job = ForEachJob {
+        core: JobCore::new(n, participants),
+        base: items.as_mut_ptr(),
+        f: &f,
+    };
+    pool().run(
+        participants - 1,
+        Job {
+            data: std::ptr::addr_of!(job).cast(),
+            run: run_for_each::<T, F>,
+        },
+    );
+    if let Some(payload) = job.core.into_panic() {
+        resume_unwind(payload);
+    }
 }
 
 #[cfg(test)]
@@ -151,5 +418,70 @@ mod tests {
         let mut one = vec![7u64];
         par_for_each_mut(&mut one, 4, |_, x| *x = 9);
         assert_eq!(one, vec![9]);
+    }
+
+    #[test]
+    fn results_bit_identical_across_thread_counts() {
+        // The workloads feed floating point through index-dependent math;
+        // bit-identity across thread counts is the determinism contract.
+        let items: Vec<f64> = (0..4096).map(|i| (i as f64).sin() * 1e3).collect();
+        let reference = par_map_indexed(items.clone(), 1, |i, x| (x * i as f64).to_bits());
+        for threads in [2, 8] {
+            let got = par_map_indexed(items.clone(), threads, |i, x| (x * i as f64).to_bits());
+            assert_eq!(got, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn panic_in_worker_propagates_not_deadlocks() {
+        for threads in [2usize, 8] {
+            let result = std::panic::catch_unwind(|| {
+                par_map_indexed((0..512).collect::<Vec<usize>>(), threads, |i, x| {
+                    assert!(i != 137, "boom at {i}");
+                    x
+                })
+            });
+            assert!(result.is_err(), "panic must propagate (threads={threads})");
+        }
+        // The pool must remain usable after a panicked job.
+        let ok = par_map_indexed((0..64).collect::<Vec<u64>>(), 8, |_, x| x + 1);
+        assert_eq!(ok.len(), 64);
+    }
+
+    #[test]
+    fn panic_in_for_each_propagates() {
+        let mut items: Vec<u64> = (0..256).collect();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            par_for_each_mut(&mut items, 4, |i, _| assert!(i != 200));
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn nested_calls_run_sequentially_without_deadlock() {
+        let outer: Vec<u64> = (0..64).collect();
+        let out = par_map_indexed(outer, 4, |_, x| {
+            let inner: Vec<u64> = (0..16).collect();
+            par_map_indexed(inner, 4, |_, y| y + x).iter().sum::<u64>()
+        });
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (0..16).map(|y| y + i as u64).sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn repeated_rounds_reuse_pool() {
+        // Many small jobs back to back: exercises publish/retire cycling.
+        for round in 0..200u64 {
+            let items: Vec<u64> = (0..32).collect();
+            let out = par_map_indexed(items, 4, move |_, x| x + round);
+            assert_eq!(out[31], 31 + round);
+        }
+    }
+
+    #[test]
+    fn threads_beyond_items_are_capped() {
+        let out = par_map_indexed(vec![1u32, 2, 3], 64, |_, x| x * 2);
+        assert_eq!(out, vec![2, 4, 6]);
     }
 }

@@ -18,8 +18,8 @@
 //! * **round metering** — every communication round increments a counter
 //!   and records per-round load statistics ([`metrics::Metrics`]);
 //! * **parallel execution** — machines within a round run concurrently on
-//!   a crossbeam-scoped thread pool ([`exec`]), with deterministic
-//!   message delivery order (by source machine id).
+//!   a persistent chunked-cursor worker pool ([`exec`]), with
+//!   deterministic message delivery order (by source machine id).
 //!
 //! On top of the raw [`cluster::Runtime::round`] primitive, the
 //! [`primitives`] module provides the classic O(1)-round building blocks

@@ -1,9 +1,7 @@
 //! Round/space metering for the simulated cluster.
 
-use serde::Serialize;
-
 /// Statistics for a single communication round.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RoundStats {
     /// 0-based round index.
     pub round: usize,
@@ -24,7 +22,7 @@ pub struct RoundStats {
 }
 
 /// Accumulated metrics of an MPC computation.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Metrics {
     rounds: Vec<RoundStats>,
     peak_resident_words: usize,

@@ -13,6 +13,9 @@ use treeemb_linalg::random;
 #[derive(Debug, Clone, PartialEq)]
 pub struct BallGrid {
     cell: f64,
+    /// Precomputed `1/cell`: the per-coordinate lattice snap in
+    /// [`Self::ball_of`] is a multiply instead of a divide.
+    inv_cell: f64,
     radius: f64,
     shift: Vec<f64>,
 }
@@ -27,6 +30,7 @@ impl BallGrid {
         );
         Self {
             cell,
+            inv_cell: 1.0 / cell,
             radius,
             shift,
         }
@@ -41,16 +45,19 @@ impl BallGrid {
     }
 
     /// Ball radius `w`.
+    #[must_use]
     pub fn radius(&self) -> f64 {
         self.radius
     }
 
     /// Lattice cell length `ℓ`.
+    #[must_use]
     pub fn cell(&self) -> f64 {
         self.cell
     }
 
     /// Dimension.
+    #[must_use]
     pub fn dim(&self) -> usize {
         self.shift.len()
     }
@@ -70,7 +77,7 @@ impl BallGrid {
         let mut coords = Vec::with_capacity(p.len());
         let r2 = self.radius * self.radius;
         for (x, s) in p.iter().zip(&self.shift) {
-            let t = (x - s) / self.cell;
+            let t = (x - s) * self.inv_cell;
             let m = t.round();
             let e = (t - m) * self.cell;
             sq += e * e;
@@ -95,9 +102,20 @@ pub struct BallAssignment {
 
 /// An ordered sequence of independently shifted ball grids at one scale
 /// (the output of `BuildGrids`).
+///
+/// Besides the per-grid [`BallGrid`] objects (the broadcastable form),
+/// the sequence keeps every shift in one flat structure-of-arrays buffer
+/// so the first-covering-grid scan walks memory linearly instead of
+/// chasing one heap allocation per grid.
 #[derive(Debug, Clone)]
 pub struct GridSequence {
     grids: Vec<BallGrid>,
+    dim: usize,
+    cell: f64,
+    inv_cell: f64,
+    radius: f64,
+    /// Grid `u`'s shift occupies `shifts[u*dim .. (u+1)*dim]`.
+    shifts: Vec<f64>,
 }
 
 impl GridSequence {
@@ -122,49 +140,103 @@ impl GridSequence {
     ) -> Self {
         assert!(count > 0, "need at least one grid");
         assert!(factor >= 2.0, "balls must stay disjoint (factor >= 2)");
-        let grids = (0..count)
+        let grids: Vec<BallGrid> = (0..count)
             .map(|u| BallGrid::from_seed(dim, factor * w, w, random::mix2(seed, u as u64)))
             .collect();
-        Self { grids }
+        let mut shifts = Vec::with_capacity(count * dim);
+        for g in &grids {
+            shifts.extend_from_slice(g.shift());
+        }
+        Self {
+            dim,
+            cell: grids[0].cell(),
+            inv_cell: 1.0 / grids[0].cell(),
+            radius: grids[0].radius(),
+            shifts,
+            grids,
+        }
     }
 
     /// Number of grids (`U`).
+    #[must_use]
     pub fn len(&self) -> usize {
         self.grids.len()
     }
 
-    /// True when the sequence holds no grids (never constructed so).
+    /// True when the sequence holds no grids. The constructors reject
+    /// `count == 0`, so this is always `false` for a built sequence; it
+    /// exists to satisfy the `len`/`is_empty` API convention.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.grids.is_empty()
     }
 
     /// Ball radius `w` of the sequence.
+    #[must_use]
     pub fn radius(&self) -> f64 {
-        self.grids[0].radius()
+        self.radius
     }
 
     /// The grids, in priority order.
+    #[must_use]
     pub fn grids(&self) -> &[BallGrid] {
         &self.grids
+    }
+
+    /// Index of the first grid whose ball covers `p`, scanning the flat
+    /// shift buffer cache-linearly. Shares `ball_of`'s arithmetic
+    /// exactly (reciprocal multiply, same operation order), so it agrees
+    /// with [`Self::assign`] bit for bit.
+    #[must_use]
+    pub fn first_covering(&self, p: &[f64]) -> Option<u32> {
+        debug_assert_eq!(p.len(), self.dim);
+        let r2 = self.radius * self.radius;
+        for (u, shift) in self.shifts.chunks_exact(self.dim.max(1)).enumerate() {
+            let mut sq = 0.0;
+            let mut covered = true;
+            for (x, s) in p.iter().zip(shift) {
+                let t = (x - s) * self.inv_cell;
+                let e = (t - t.round()) * self.cell;
+                sq += e * e;
+                if sq > r2 {
+                    covered = false;
+                    break; // early exit: outside every ball of this grid
+                }
+            }
+            if covered {
+                return Some(u as u32);
+            }
+        }
+        None
+    }
+
+    /// Streams the lattice coordinates of `p`'s ball in grid `u` (as
+    /// returned by [`Self::first_covering`]) without allocating. Must
+    /// only be called for a covering grid.
+    pub fn covering_cell(&self, u: u32, p: &[f64], mut emit: impl FnMut(i64)) {
+        let shift = &self.shifts[u as usize * self.dim..(u as usize + 1) * self.dim];
+        for (x, s) in p.iter().zip(shift) {
+            let m = ((x - s) * self.inv_cell).round();
+            emit(m as i64);
+        }
     }
 
     /// Assigns `p` to the first covering ball, or `None` if no grid in
     /// the sequence covers it (a coverage failure; see Lemma 7 for how
     /// large `U` must be to make this improbable).
     pub fn assign(&self, p: &[f64]) -> Option<BallAssignment> {
-        for (u, grid) in self.grids.iter().enumerate() {
-            if let Some(cell) = grid.ball_of(p) {
-                return Some(BallAssignment {
-                    grid_index: u as u32,
-                    cell,
-                });
-            }
-        }
-        None
+        let u = self.first_covering(p)?;
+        let mut cell = Vec::with_capacity(self.dim);
+        self.covering_cell(u, p, |c| cell.push(c));
+        Some(BallAssignment {
+            grid_index: u,
+            cell,
+        })
     }
 
     /// Words of memory this sequence occupies when broadcast in MPC
     /// (one shift vector per grid).
+    #[must_use]
     pub fn words(&self) -> usize {
         self.grids.iter().map(|g| g.dim() + 2).sum()
     }
@@ -290,6 +362,34 @@ mod tests {
     fn words_counts_broadcast_size() {
         let seq = GridSequence::build(4, 1.0, 10, 1);
         assert_eq!(seq.words(), 10 * 6);
+    }
+
+    #[test]
+    fn first_covering_matches_per_grid_scan() {
+        let seq = GridSequence::build(3, 2.0, 60, 42);
+        for i in 0..200 {
+            let p = [i as f64 * 0.53, (i % 17) as f64 * 1.1, -(i as f64) * 0.21];
+            let slow = seq
+                .grids()
+                .iter()
+                .position(|g| g.ball_of(&p).is_some())
+                .map(|u| u as u32);
+            assert_eq!(seq.first_covering(&p), slow, "point {i}");
+        }
+    }
+
+    #[test]
+    fn covering_cell_streams_ball_of_coords() {
+        let seq = GridSequence::build(4, 1.5, 80, 9);
+        for i in 0..100 {
+            let p = [i as f64 * 0.3, 1.0, (i % 5) as f64, -2.5];
+            if let Some(u) = seq.first_covering(&p) {
+                let expect = seq.grids()[u as usize].ball_of(&p).unwrap();
+                let mut got = Vec::new();
+                seq.covering_cell(u, &p, |c| got.push(c));
+                assert_eq!(got, expect);
+            }
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! `ℓ/2`).
 
 use crate::ball::{BallAssignment, BallGrid, GridSequence};
-use crate::ids::StructuralHash;
+use crate::ids::{PackedHasher, PackedLevelKey, StructuralHash};
 use treeemb_linalg::random::mix2;
 
 /// One scale ("level") of hybrid partitioning over `R^d`.
@@ -102,21 +102,25 @@ impl HybridLevel {
     }
 
     /// Scale parameter `w` (ball radius).
+    #[must_use]
     pub fn w(&self) -> f64 {
         self.w
     }
 
     /// Number of buckets `r`.
+    #[must_use]
     pub fn r(&self) -> usize {
         self.r
     }
 
     /// Dimensions per bucket (`d/r`).
+    #[must_use]
     pub fn bucket_dim(&self) -> usize {
         self.bucket_dim
     }
 
     /// Ambient dimension `d`.
+    #[must_use]
     pub fn dim(&self) -> usize {
         self.dim
     }
@@ -136,6 +140,11 @@ impl HybridLevel {
 
     /// Assigns a point to its hybrid partition, or `None` if some
     /// bucket's grid sequence fails to cover it.
+    ///
+    /// This is the exact-key path: it materializes the per-bucket
+    /// lattice cells. The hot loops should prefer [`Self::assign_packed`]
+    /// (grouping) or [`Self::absorb_assignment_into`] (node-id chains),
+    /// which make the identical covering decisions without allocating.
     pub fn assign(&self, p: &[f64]) -> Option<LevelAssignment> {
         assert_eq!(p.len(), self.dim, "point dimension mismatch");
         let mut buckets = Vec::with_capacity(self.r);
@@ -145,6 +154,45 @@ impl HybridLevel {
             buckets.push(seq.assign(&p[lo..hi])?);
         }
         Some(LevelAssignment { buckets })
+    }
+
+    /// Allocation-free partition key: hashes the exact token stream of
+    /// `assign(p)`'s [`LevelAssignment`] into a 128-bit
+    /// [`PackedLevelKey`]. Two points get equal keys iff (w.h.p.) their
+    /// exact assignments are equal, so grouping by the packed key
+    /// reproduces the exact grouping.
+    pub fn assign_packed(&self, p: &[f64]) -> Option<PackedLevelKey> {
+        assert_eq!(p.len(), self.dim, "point dimension mismatch");
+        let mut h = PackedHasher::new();
+        for (j, seq) in self.sequences.iter().enumerate() {
+            let lo = j * self.bucket_dim;
+            let proj = &p[lo..lo + self.bucket_dim];
+            let u = seq.first_covering(proj)?;
+            h.absorb(0xBA11);
+            h.absorb(u as u64);
+            seq.covering_cell(u, proj, |c| h.absorb_i64(c));
+            h.absorb(0xE4D);
+        }
+        Some(h.key())
+    }
+
+    /// Folds `p`'s level assignment into a structural-hash chain with
+    /// exactly the token stream of
+    /// `assign(p).unwrap().absorb_into(h)` — but without materializing
+    /// the assignment. This is the MPC embedder's node-id hot path; the
+    /// resulting ids are bit-identical to the exact path's.
+    pub fn absorb_assignment_into(&self, p: &[f64], h: StructuralHash) -> Option<StructuralHash> {
+        assert_eq!(p.len(), self.dim, "point dimension mismatch");
+        let mut cur = h;
+        for (j, seq) in self.sequences.iter().enumerate() {
+            let lo = j * self.bucket_dim;
+            let proj = &p[lo..lo + self.bucket_dim];
+            let u = seq.first_covering(proj)?;
+            cur = cur.absorb(0xBA11).absorb(u as u64);
+            seq.covering_cell(u, proj, |c| cur = cur.absorb_i64(c));
+            cur = cur.absorb(0xE4D);
+        }
+        Some(cur)
     }
 
     /// Total words the level's grids occupy when broadcast (Lemma 8's
@@ -311,6 +359,56 @@ mod tests {
                 }
             }
             assert_eq!(same, expect, "trial {t}");
+        }
+    }
+
+    #[test]
+    fn packed_key_equality_matches_exact_assignment_equality() {
+        let lvl = HybridLevel::new(4, 2, 2.5, grids_needed(2, 1000, 0.001), 31);
+        let points: Vec<Vec<f64>> = (0..120)
+            .map(|i| {
+                vec![
+                    (i % 11) as f64 * 0.8,
+                    (i / 11) as f64 * 0.8,
+                    (i % 5) as f64 * 2.0,
+                    (i % 3) as f64 * 2.0,
+                ]
+            })
+            .collect();
+        let exact: Vec<_> = points.iter().map(|p| lvl.assign(p)).collect();
+        let packed: Vec<_> = points.iter().map(|p| lvl.assign_packed(p)).collect();
+        for (e, k) in exact.iter().zip(&packed) {
+            assert_eq!(e.is_some(), k.is_some(), "coverage must agree");
+        }
+        for i in 0..points.len() {
+            for j in (i + 1)..points.len() {
+                if exact[i].is_some() && exact[j].is_some() {
+                    assert_eq!(
+                        exact[i] == exact[j],
+                        packed[i] == packed[j],
+                        "pair ({i},{j}) grouped differently"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn absorb_assignment_into_matches_exact_chain() {
+        let lvl = HybridLevel::new(6, 3, 1.5, 300, 17);
+        let h0 = StructuralHash::root().absorb(9);
+        for i in 0..80 {
+            let p = vec![
+                i as f64 * 0.4,
+                1.0,
+                (i % 7) as f64,
+                -0.5 * i as f64,
+                2.0,
+                (i % 4) as f64,
+            ];
+            let exact = lvl.assign(&p).map(|a| a.absorb_into(h0));
+            let streamed = lvl.absorb_assignment_into(&p, h0);
+            assert_eq!(exact, streamed, "point {i}");
         }
     }
 

@@ -31,3 +31,4 @@ pub mod stats;
 pub use ball::{BallAssignment, GridSequence};
 pub use grid::ShiftedGrid;
 pub use hybrid::{HybridLevel, LevelAssignment};
+pub use ids::{PackedHasher, PackedLevelKey, StructuralHash};

@@ -100,6 +100,41 @@ proptest! {
     }
 
     #[test]
+    fn packed_and_exact_keys_induce_identical_partitions(
+        seed in 0u64..100_000,
+        bucket_dim in 1usize..4,
+        r in 1usize..4,
+        w in 0.5f64..20.0,
+        probe in 0u64..1000,
+    ) {
+        // The packed 128-bit key must group points exactly as the
+        // materialized per-bucket assignments do, for every geometry.
+        let dim = bucket_dim * r;
+        let lvl = HybridLevel::new(dim, r, w, 40, seed);
+        let point = |t: u64| -> Vec<f64> {
+            (0..dim)
+                .map(|j| {
+                    let u = treeemb_linalg::random::unit_f64(probe ^ 0x9E37, t * 31 + j as u64);
+                    (u - 0.5) * 80.0
+                })
+                .collect()
+        };
+        let pts: Vec<Vec<f64>> = (0..12).map(point).collect();
+        let exact: Vec<_> = pts.iter().map(|p| lvl.assign(p)).collect();
+        let packed: Vec<_> = pts.iter().map(|p| lvl.assign_packed(p)).collect();
+        for (e, k) in exact.iter().zip(&packed) {
+            prop_assert_eq!(e.is_some(), k.is_some());
+        }
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                if exact[i].is_some() && exact[j].is_some() {
+                    prop_assert_eq!(exact[i] == exact[j], packed[i] == packed[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
     fn cell_factor_two_covers_dimension_one_completely(
         seed in 0u64..100_000,
         x in -1000f64..1000.0,

@@ -1,0 +1,372 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! The workspace builds in air-gapped environments, so the real crate
+//! cannot be fetched. This shim keeps the `benches/` targets runnable by
+//! implementing the API surface they use — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`] / `bench_function`,
+//! [`Bencher::iter`] / `iter_batched`, [`BenchmarkId`], and the
+//! `criterion_group!` / `criterion_main!` macros — over a plain
+//! wall-clock sampler (median / mean of per-iteration times).
+//!
+//! Differences from upstream, deliberately accepted: no statistical
+//! outlier analysis, no HTML reports, no baseline storage. Instead, when
+//! the `CRITERION_OUTPUT_JSON` environment variable names a file, every
+//! finished benchmark appends one JSON object per line with its timing
+//! estimates so snapshot tooling can consume the numbers.
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Smallest total measurement time per benchmark before sampling stops.
+const MEASURE_BUDGET: Duration = Duration::from_millis(120);
+/// Hard cap so a single slow benchmark cannot stall a suite.
+const MEASURE_CEILING: Duration = Duration::from_secs(3);
+
+/// Opaque value sink preventing the optimizer from deleting benchmarked
+/// work; mirrors `criterion::black_box`.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; the shim samples one
+/// routine call per batch regardless, so the variants only document
+/// intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup output; upstream would batch many per sample.
+    SmallInput,
+    /// Large setup output; one routine call per setup call.
+    LargeInput,
+    /// Fresh setup for every single iteration.
+    PerIteration,
+}
+
+/// Identifies one benchmark within a group as `function/parameter`;
+/// mirrors `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id for `function_name` at `parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Id distinguished only by a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing estimates for one finished benchmark.
+#[derive(Debug, Clone)]
+pub struct Estimate {
+    /// Full benchmark path, `group/function/parameter`.
+    pub id: String,
+    /// Median time per iteration, nanoseconds.
+    pub median_ns: f64,
+    /// Mean time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest observed iteration, nanoseconds.
+    pub min_ns: f64,
+    /// Number of samples the estimates are computed from.
+    pub samples: usize,
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn emit(est: &Estimate) {
+    println!(
+        "{:<48} time: [{} {} {}]  ({} samples)",
+        est.id,
+        format_ns(est.min_ns),
+        format_ns(est.median_ns),
+        format_ns(est.mean_ns),
+        est.samples
+    );
+    if let Ok(path) = std::env::var("CRITERION_OUTPUT_JSON") {
+        if path.is_empty() {
+            return;
+        }
+        let line = format!(
+            "{{\"id\":\"{}\",\"median_ns\":{},\"mean_ns\":{},\"min_ns\":{},\"samples\":{}}}\n",
+            est.id, est.median_ns, est.mean_ns, est.min_ns, est.samples
+        );
+        let written = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| f.write_all(line.as_bytes()));
+        if let Err(e) = written {
+            eprintln!("criterion shim: cannot append to {path}: {e}");
+        }
+    }
+}
+
+/// Per-benchmark timing driver handed to bench closures; mirrors
+/// `criterion::Bencher`.
+pub struct Bencher {
+    sample_size: usize,
+    result: Option<Estimate>,
+    id: String,
+}
+
+impl Bencher {
+    /// Times `routine`, called back-to-back in batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration pass: size batches so one batch is ≥ ~50µs, keeping
+        // timer overhead negligible for nanosecond-scale routines.
+        let cal_start = Instant::now();
+        black_box(routine());
+        let first = cal_start.elapsed();
+        let batch = if first < Duration::from_micros(1) {
+            1024
+        } else if first < Duration::from_micros(50) {
+            (Duration::from_micros(50).as_nanos() / first.as_nanos().max(1)).max(1) as usize
+        } else {
+            1
+        };
+        let mut samples_ns = Vec::with_capacity(self.sample_size);
+        let run_start = Instant::now();
+        while samples_ns.len() < self.sample_size
+            && (run_start.elapsed() < MEASURE_BUDGET || samples_ns.len() < 3)
+            && run_start.elapsed() < MEASURE_CEILING
+        {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples_ns.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        self.finish_samples(samples_ns);
+    }
+
+    /// Times `routine` on inputs produced by `setup`; only the routine is
+    /// on the clock.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut samples_ns = Vec::with_capacity(self.sample_size);
+        let run_start = Instant::now();
+        while samples_ns.len() < self.sample_size
+            && (run_start.elapsed() < MEASURE_BUDGET || samples_ns.len() < 3)
+            && run_start.elapsed() < MEASURE_CEILING
+        {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            samples_ns.push(t.elapsed().as_nanos() as f64);
+        }
+        self.finish_samples(samples_ns);
+    }
+
+    fn finish_samples(&mut self, mut samples_ns: Vec<f64>) {
+        assert!(!samples_ns.is_empty(), "benchmark produced no samples");
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        let n = samples_ns.len();
+        let median = if n % 2 == 1 {
+            samples_ns[n / 2]
+        } else {
+            (samples_ns[n / 2 - 1] + samples_ns[n / 2]) / 2.0
+        };
+        self.result = Some(Estimate {
+            id: self.id.clone(),
+            median_ns: median,
+            mean_ns: samples_ns.iter().sum::<f64>() / n as f64,
+            min_ns: samples_ns[0],
+            samples: n,
+        });
+    }
+}
+
+/// A named set of related benchmarks; mirrors
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Runs `f` as benchmark `id` with `input` passed by reference.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        if !self.criterion.matches(&full) {
+            return self;
+        }
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            result: None,
+            id: full,
+        };
+        f(&mut bencher, input);
+        if let Some(est) = bencher.result {
+            emit(&est);
+        }
+        self
+    }
+
+    /// Runs `f` as benchmark `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        if !self.criterion.matches(&full) {
+            return self;
+        }
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            result: None,
+            id: full,
+        };
+        f(&mut bencher);
+        if let Some(est) = bencher.result {
+            emit(&est);
+        }
+        self
+    }
+
+    /// Ends the group. (Upstream renders a report here; the shim prints
+    /// results as they finish, so this is a no-op.)
+    pub fn finish(self) {}
+}
+
+/// Benchmark runner root; mirrors `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filters: Vec<String>,
+}
+
+impl Criterion {
+    /// Reads substring filters from the command line (cargo bench passes
+    /// `--bench`/`--exact` style flags, which are ignored).
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        self.filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        self
+    }
+
+    fn matches(&self, full_id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| full_id.contains(f.as_str()))
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 100,
+            criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.matches(id) {
+            let mut bencher = Bencher {
+                sample_size: 100,
+                result: None,
+                id: id.to_string(),
+            };
+            f(&mut bencher);
+            if let Some(est) = bencher.result {
+                emit(&est);
+            }
+        }
+        self
+    }
+}
+
+/// Bundles benchmark functions into a runnable group; mirrors
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for one or more benchmark groups; mirrors
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(5);
+        g.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 32], |v| v.len(), BatchSize::LargeInput);
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn filters_skip_non_matching_benchmarks() {
+        let mut c = Criterion {
+            filters: vec!["nomatch".into()],
+        };
+        let mut g = c.benchmark_group("g");
+        // Closure would panic if run; the filter must skip it.
+        g.bench_function("skipped", |_b| panic!("must not run"));
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats_as_function_slash_param() {
+        assert_eq!(BenchmarkId::new("f", 128).id, "f/128");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}
