@@ -1,5 +1,5 @@
 //! Approximate nearest neighbors through the hierarchy — closing the
-//! loop with Ailon–Chazelle, whose FJLT paper (the paper's [2],
+//! loop with Ailon–Chazelle, whose FJLT paper (the paper's \[2\],
 //! *"Approximate nearest neighbors and the fast Johnson–Lindenstrauss
 //! transform"*) built the transform *for* ANN.
 //!

@@ -4,6 +4,7 @@
 //! cargo run --release -p treeemb-bench --bin exp -- all
 //! cargo run --release -p treeemb-bench --bin exp -- e1 e10 --full
 //! cargo run --release -p treeemb-bench --bin exp -- e3 --csv out/
+//! cargo run --release -p treeemb-bench --bin exp -- e2 --trace-out trace.json
 //! ```
 
 use treeemb_bench::{run_experiment, Scale, ALL_EXPERIMENTS};
@@ -16,10 +17,19 @@ fn main() {
         .position(|a| a == "--csv")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    if let Some(trace) = &trace_out {
+        treeemb_obs::set_trace_path(trace);
+    }
     let mut wanted: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
         .filter(|a| Some(a.as_str()) != csv_dir.as_deref())
+        .filter(|a| Some(a.as_str()) != trace_out.as_deref())
         .map(|a| a.to_lowercase())
         .collect();
     if wanted.is_empty() || wanted.iter().any(|a| a == "all") {
@@ -48,5 +58,8 @@ fn main() {
             id.to_uppercase(),
             start.elapsed()
         );
+    }
+    if let Some(path) = treeemb_obs::flush_trace() {
+        eprintln!("wrote trace {}", path.display());
     }
 }

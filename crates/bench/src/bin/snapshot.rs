@@ -5,6 +5,7 @@
 //! ```text
 //! cargo run --release -p treeemb-bench --bin snapshot            # writes BENCH_1.json
 //! cargo run --release -p treeemb-bench --bin snapshot -- --out x.json --quick
+//! cargo run --release -p treeemb-bench --bin snapshot -- --trace-out trace.json
 //! ```
 //!
 //! The pairs measured:
@@ -68,6 +69,15 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_1.json".to_string());
+    // `--trace-out PATH` arms span collection (same effect as
+    // TREEEMB_TRACE=PATH in the environment).
+    if let Some(trace) = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1))
+    {
+        treeemb_obs::set_trace_path(trace);
+    }
     let samples = if quick { 5 } else { 15 };
     let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
 
@@ -253,4 +263,19 @@ fn main() {
     json.push_str("  }\n}\n");
     std::fs::write(&out, &json).expect("write snapshot json");
     eprintln!("wrote {out}");
+
+    let st = treeemb_mpc::exec::stats();
+    eprintln!(
+        "executor: {} jobs ({} sequential), {} tasks, {} chunk claims, \
+         peak {} concurrent workers, utilization {:.1}%",
+        st.jobs,
+        st.sequential_jobs,
+        st.tasks,
+        st.chunk_claims,
+        st.max_concurrent_workers,
+        st.utilization() * 100.0
+    );
+    if let Some(path) = treeemb_obs::flush_trace() {
+        eprintln!("wrote trace {}", path.display());
+    }
 }

@@ -35,6 +35,7 @@ pub fn check_domination_parallel(
     ps: &PointSet,
     threads: usize,
 ) -> DominationReport {
+    let _sp = treeemb_obs::span!("audit.domination", "n" = ps.len());
     let n = ps.len();
     let rows: Vec<(f64, usize)> = treeemb_mpc::exec::par_map_indexed(
         (0..n).collect::<Vec<usize>>(),
@@ -114,6 +115,7 @@ pub fn estimate_expected_distortion_threads(
     threads: usize,
     mut build: impl FnMut(u64) -> Result<Embedding, EmbedError>,
 ) -> Result<DistortionEstimate, EmbedError> {
+    let _sp = treeemb_obs::span!("audit.expected_distortion", "trials" = trials);
     assert!(trials >= 1);
     let n = ps.len();
     let mut sums = vec![0.0f64; n * n];

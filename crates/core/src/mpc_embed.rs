@@ -145,11 +145,13 @@ pub fn embed_mpc_full(
     if ps.is_empty() {
         return Err(EmbedError::EmptyInput);
     }
+    let _embed_sp = treeemb_obs::span!("embed.run", "n" = ps.len(), "levels" = params.num_levels());
     let padded = ps.zero_pad(params.dim);
     let n = padded.len();
 
     // Step 1: build grids once (machine 0's role) and broadcast their
     // raw shift vectors so Lemma 8's local-space claim is exercised.
+    let grids_sp = treeemb_obs::span!("embed.grids");
     let levels: Arc<Vec<HybridLevel>> = Arc::new(
         params
             .levels
@@ -172,8 +174,10 @@ pub fn embed_mpc_full(
     // read their local copy.
     let grid_words: usize = levels.iter().map(HybridLevel::words).sum();
     broadcast::broadcast_accounted(rt, grid_words)?;
+    drop(grids_sp);
 
     // Step 2: distribute the points.
+    let load_sp = treeemb_obs::span!("embed.load");
     let recs: Vec<PointRec> = padded
         .iter()
         .enumerate()
@@ -183,8 +187,10 @@ pub fn embed_mpc_full(
         })
         .collect();
     let dist = rt.distribute(recs)?;
+    drop(load_sp);
 
     // Step 3: machine-local path construction.
+    let paths_sp = treeemb_obs::span!("embed.paths");
     let levels_for_paths = Arc::clone(&levels);
     let params_paths = params.clone();
     let path_results = rt.map_local(dist, move |_, shard| {
@@ -248,10 +254,12 @@ pub fn embed_mpc_full(
             })
             .collect::<Vec<PointPath>>()
     })?;
+    drop(paths_sp);
 
     // Step 4: derive the edge list from paths, deduplicate by node id,
     // gather, assemble. (Paths themselves stay distributed for the
     // applications.)
+    let edges_sp = treeemb_obs::span!("embed.edges");
     let edges_only = rt.map_local(paths.clone(), |_, shard| {
         let mut out: Vec<EdgeMsg> = Vec::with_capacity(shard.len() * 4);
         for path in &shard {
@@ -281,6 +289,8 @@ pub fn embed_mpc_full(
         out
     })?;
     let deduped = shuffle::dedup_by_key(rt, edges_only, |e| e.node)?;
+    drop(edges_sp);
+    let _assemble_sp = treeemb_obs::span!("embed.assemble");
     let gathered = rt.gather(deduped);
     let edge_recs: Vec<EdgeRec> = gathered
         .into_iter()

@@ -17,6 +17,7 @@ use crate::seq::Embedding;
 use treeemb_fjlt::fjlt::FjltParams;
 use treeemb_fjlt::mpc::fjlt_mpc;
 use treeemb_geom::PointSet;
+use treeemb_mpc::metrics::Metrics;
 use treeemb_mpc::{MpcConfig, Runtime};
 
 /// Pipeline configuration.
@@ -61,6 +62,21 @@ impl Default for PipelineConfig {
     }
 }
 
+/// Per-stage resource breakdown of one pipeline run: wall time plus the
+/// MPC rounds and communication attributable to the stage (metered as
+/// deltas of the runtime's [`Metrics`] around the stage).
+#[derive(Debug, Clone)]
+pub struct StageStats {
+    /// Stage name (`"fjlt"`, `"schedule"`, `"embed"`).
+    pub name: &'static str,
+    /// Wall-clock time spent in the stage, nanoseconds.
+    pub wall_ns: u64,
+    /// Communication rounds the stage consumed.
+    pub rounds: usize,
+    /// Words sent across machines during the stage.
+    pub sent_words: usize,
+}
+
 /// Everything the pipeline produced and measured.
 #[derive(Debug)]
 pub struct PipelineReport {
@@ -84,13 +100,24 @@ pub struct PipelineReport {
     pub capacity_words: usize,
     /// Machine count.
     pub machines: usize,
+    /// Per-stage wall/round/word breakdown, in execution order.
+    pub stages: Vec<StageStats>,
+    /// Full round-by-round meter log of the run (timestamps, labels,
+    /// per-round word counts) — everything `summary()`/`by_label()`
+    /// offer, not just the scalar peaks above.
+    pub metrics: Metrics,
 }
 
 /// Runs the full Theorem-1 pipeline.
+///
+/// With `TREEEMB_TRACE=path` set (or [`treeemb_obs::set_trace_path`]
+/// called), the run also writes a Chrome-trace file on completion, with
+/// one span per stage nesting every MPC round underneath.
 pub fn run(ps: &PointSet, cfg: &PipelineConfig) -> Result<PipelineReport, EmbedError> {
     if ps.is_empty() {
         return Err(EmbedError::EmptyInput);
     }
+    let run_sp = treeemb_obs::span!("pipeline.run", "n" = ps.len(), "d" = ps.dim());
     let n = ps.len();
     let d = ps.dim();
     let input_words = n * (d + 1);
@@ -128,14 +155,41 @@ pub fn run(ps: &PointSet, cfg: &PipelineConfig) -> Result<PipelineReport, EmbedE
     mpc_cfg = mpc_cfg.with_threads(cfg.threads);
     let mut rt = Runtime::new(mpc_cfg);
 
+    let mut stages: Vec<StageStats> = Vec::with_capacity(3);
+    // Meters a stage as the (wall, rounds, sent-words) delta around `f`,
+    // under a `pipeline.<name>` span so the MPC rounds inside nest.
+    let staged = |name: &'static str,
+                  rt: &mut Runtime,
+                  stages: &mut Vec<StageStats>,
+                  f: &mut dyn FnMut(&mut Runtime) -> Result<(), EmbedError>|
+     -> Result<(), EmbedError> {
+        let rounds0 = rt.metrics().rounds();
+        let words0 = rt.metrics().total_sent_words();
+        let t0 = treeemb_obs::now_ns();
+        let sp = treeemb_obs::Span::enter_with(|| format!("pipeline.{name}"));
+        let result = f(rt);
+        drop(sp);
+        stages.push(StageStats {
+            name,
+            wall_ns: treeemb_obs::now_ns().saturating_sub(t0),
+            rounds: rt.metrics().rounds() - rounds0,
+            sent_words: rt.metrics().total_sent_words() - words0,
+        });
+        result
+    };
+
     // Step 1: dimension reduction, when it helps (d above the JL target).
     let (working, fjlt_params, min_sep, fjlt_rounds) = if jl_planned {
         let params = FjltParams::for_dataset(n, d, cfg.xi, cfg.seed ^ 0xF17);
-        let projected = fjlt_mpc(&mut rt, ps, &params)?;
+        let mut projected = None;
+        staged("fjlt", &mut rt, &mut stages, &mut |rt| {
+            projected = Some(fjlt_mpc(rt, ps, &params)?);
+            Ok(())
+        })?;
         let rounds = rt.metrics().rounds();
         // JL contracts distances by at most (1 - ξ) w.h.p.
         (
-            projected,
+            projected.expect("fjlt stage ran"),
             Some(params),
             cfg.min_sep * (1.0 - cfg.xi),
             rounds,
@@ -145,26 +199,47 @@ pub fn run(ps: &PointSet, cfg: &PipelineConfig) -> Result<PipelineReport, EmbedE
     };
 
     // Step 2: schedule. The default r keeps bucket dimensions practical
-    // (see params::pipeline_r).
-    let r = cfg
-        .r
-        .unwrap_or_else(|| crate::params::pipeline_r(n, working.dim()));
-    let params = HybridParams::for_dataset_with_sep(&working, r, min_sep, cfg.fail_prob)?;
+    // (see params::pipeline_r). Machine-local: no rounds, only wall time.
+    let mut params_slot = None;
+    staged("schedule", &mut rt, &mut stages, &mut |_| {
+        let r = cfg
+            .r
+            .unwrap_or_else(|| crate::params::pipeline_r(n, working.dim()));
+        params_slot = Some(HybridParams::for_dataset_with_sep(
+            &working,
+            r,
+            min_sep,
+            cfg.fail_prob,
+        )?);
+        Ok(())
+    })?;
+    let params = params_slot.expect("schedule stage ran");
 
     // Steps 3–4: embed and report.
-    let embedding = embed_mpc(&mut rt, &working, &params, cfg.seed)?;
-    let metrics = rt.metrics();
+    let mut embedding_slot = None;
+    staged("embed", &mut rt, &mut stages, &mut |rt| {
+        embedding_slot = Some(embed_mpc(rt, &working, &params, cfg.seed)?);
+        Ok(())
+    })?;
+    let embedding = embedding_slot.expect("embed stage ran");
+    let metrics = rt.metrics().clone();
+    drop(run_sp);
+    // With TREEEMB_TRACE (or set_trace_path) configured, persist the
+    // trace; a no-op returning None otherwise.
+    let _ = treeemb_obs::flush_trace();
     Ok(PipelineReport {
+        rounds: metrics.rounds(),
+        peak_machine_words: metrics.peak_machine_words(),
+        peak_total_words: metrics.peak_total_words(),
         embedding,
         params,
         fjlt: fjlt_params,
         jl_applied: fjlt_rounds > 0,
-        rounds: metrics.rounds(),
         fjlt_rounds,
-        peak_machine_words: metrics.peak_machine_words(),
-        peak_total_words: metrics.peak_total_words(),
         capacity_words: rt.capacity(),
         machines: rt.num_machines(),
+        stages,
+        metrics,
     })
 }
 
@@ -271,5 +346,51 @@ mod tests {
         assert!(report.peak_machine_words > 0);
         assert!(report.peak_total_words >= report.peak_machine_words);
         assert_eq!(report.machines, 8);
+    }
+
+    #[test]
+    fn report_stage_breakdown_accounts_for_all_rounds() {
+        let ps = generators::uniform_cube(32, 8, 256, 9);
+        let report = run(&ps, &quick_cfg()).unwrap();
+        // No JL on 8-dim input: stages are schedule + embed.
+        let names: Vec<&str> = report.stages.iter().map(|s| s.name).collect();
+        assert_eq!(names, ["schedule", "embed"]);
+        let stage_rounds: usize = report.stages.iter().map(|s| s.rounds).sum();
+        assert_eq!(
+            stage_rounds, report.rounds,
+            "every round belongs to a stage"
+        );
+        let stage_words: usize = report.stages.iter().map(|s| s.sent_words).sum();
+        assert_eq!(stage_words, report.metrics.total_sent_words());
+        let embed = report.stages.iter().find(|s| s.name == "embed").unwrap();
+        assert!(embed.rounds > 0 && embed.wall_ns > 0);
+    }
+
+    #[test]
+    fn report_jl_run_leads_with_fjlt_stage() {
+        let ps = generators::noisy_line(24, 200, 1 << 12, 1.0, 2);
+        let mut cfg = quick_cfg();
+        cfg.r = None;
+        cfg.capacity = None;
+        let report = run(&ps, &cfg).unwrap();
+        assert!(report.jl_applied);
+        let names: Vec<&str> = report.stages.iter().map(|s| s.name).collect();
+        assert_eq!(names, ["fjlt", "schedule", "embed"]);
+        assert_eq!(report.stages[0].rounds, report.fjlt_rounds);
+        assert_eq!(report.stages[1].rounds, 0, "scheduling is machine-local");
+    }
+
+    #[test]
+    fn report_metrics_clone_matches_scalar_summaries() {
+        let ps = generators::uniform_cube(32, 8, 256, 9);
+        let report = run(&ps, &quick_cfg()).unwrap();
+        assert_eq!(report.metrics.rounds(), report.rounds);
+        assert_eq!(
+            report.metrics.peak_machine_words(),
+            report.peak_machine_words
+        );
+        assert_eq!(report.metrics.peak_total_words(), report.peak_total_words);
+        assert_eq!(report.metrics.round_stats().len(), report.rounds);
+        assert_eq!(report.metrics.violations(), 0);
     }
 }

@@ -53,6 +53,7 @@ pub fn distortion_report_parallel(
     threads: usize,
 ) -> DistortionReport {
     assert_eq!(original.len(), embedded.len(), "point count mismatch");
+    let _sp = treeemb_obs::span!("audit.distortion", "n" = original.len());
     let n = original.len();
     let rows: Vec<RowPartial> = treeemb_mpc::exec::par_map_indexed(
         (0..n).collect::<Vec<usize>>(),

@@ -51,6 +51,8 @@ impl Words for Coord {
 /// `ps.dim()` must equal `params.d`.
 pub fn fjlt_mpc(rt: &mut Runtime, ps: &PointSet, params: &FjltParams) -> MpcResult<PointSet> {
     assert_eq!(ps.dim(), params.d, "params/point-set dimension mismatch");
+    let mut sp = treeemb_obs::span!("fjlt.transform", "n" = ps.len(), "d" = params.d);
+    sp.arg("k", params.k as u64);
     let n = ps.len();
     if n == 0 {
         return Ok(PointSet::new(params.k.max(1)));
@@ -63,6 +65,7 @@ pub fn fjlt_mpc(rt: &mut Runtime, ps: &PointSet, params: &FjltParams) -> MpcResu
     let m = rt.num_machines();
 
     // Load coordinate records (zeros omitted; they are implicit).
+    let load_sp = treeemb_obs::span!("fjlt.load");
     let mut records = Vec::with_capacity(n * params.d);
     for (pt, p) in ps.iter().enumerate() {
         for (j, &v) in p.iter().enumerate() {
@@ -76,8 +79,10 @@ pub fn fjlt_mpc(rt: &mut Runtime, ps: &PointSet, params: &FjltParams) -> MpcResu
         }
     }
     let mut dist = rt.distribute(records)?;
+    drop(load_sp);
 
     // Phase D: machine-local sign flips.
+    let sign_sp = treeemb_obs::span!("fjlt.sign");
     let p_d = *params;
     dist = rt.map_local(dist, move |_, mut shard| {
         for r in &mut shard {
@@ -85,8 +90,10 @@ pub fn fjlt_mpc(rt: &mut Runtime, ps: &PointSet, params: &FjltParams) -> MpcResu
         }
         shard
     })?;
+    drop(sign_sp);
 
     // Phase H: butterfly super-rounds.
+    let wht_sp = treeemb_obs::span!("fjlt.wht");
     let total_bits = params.d_pad.trailing_zeros();
     // Group size: each class holds 2^b coords of one point; a machine
     // must fit many classes, so bound 2^b by a quarter of capacity.
@@ -136,8 +143,10 @@ pub fn fjlt_mpc(rt: &mut Runtime, ps: &PointSet, params: &FjltParams) -> MpcResu
         })?;
         lo = hi;
     }
+    drop(wht_sp);
 
     // Phase P: sparse fan-out + aggregation.
+    let project_sp = treeemb_obs::span!("fjlt.project");
     let p_p = *params;
     let routed = rt.round("fjlt:project", dist, move |_, shard, em| {
         // Per-machine column cache: distinct idx values repeat across
@@ -178,7 +187,10 @@ pub fn fjlt_mpc(rt: &mut Runtime, ps: &PointSet, params: &FjltParams) -> MpcResu
             .collect()
     })?;
 
+    drop(project_sp);
+
     // Gather into a dense k-dimensional point set.
+    let _gather_sp = treeemb_obs::span!("fjlt.gather");
     let out_records = rt.gather(summed);
     let mut flat = vec![0.0; n * params.k];
     for r in out_records {

@@ -150,6 +150,7 @@ impl Runtime {
     /// Fails if a single record exceeds capacity or the cluster's total
     /// space cannot hold the input.
     pub fn distribute<T: Words + Send>(&mut self, items: Vec<T>) -> MpcResult<Dist<T>> {
+        let mut sp = treeemb_obs::span!("mpc.distribute", "items" = items.len());
         let cap = self.capacity();
         let m = self.num_machines();
         let mut parts: Vec<Vec<T>> = (0..m).map(|_| Vec::new()).collect();
@@ -186,6 +187,7 @@ impl Runtime {
         }
         let dist = Dist::from_parts(parts);
         self.metrics.record_total_resident(dist.total_words());
+        sp.arg("total_words", dist.total_words() as u64);
         Ok(dist)
     }
 
@@ -215,6 +217,9 @@ impl Runtime {
         let round_idx = self.metrics.rounds();
         let strict = self.cfg.strict;
         let mut violations = 0usize;
+        let t_start_ns = treeemb_obs::now_ns();
+        let mut sp = treeemb_obs::Span::enter_with(|| format!("mpc.round:{label}"));
+        sp.arg("round", round_idx as u64);
 
         // Phase 1: input capacity check.
         let mut worst_input: Option<(usize, usize)> = None;
@@ -342,6 +347,10 @@ impl Runtime {
             parts.push(shard);
         }
 
+        sp.arg("sent_words", sent_total as u64);
+        sp.arg("max_out_words", max_out as u64);
+        sp.arg("max_in_words", max_in as u64);
+        sp.arg("max_resident_words", max_resident as u64);
         self.metrics.record_round(RoundStats {
             round: round_idx,
             label: label.into(),
@@ -350,6 +359,8 @@ impl Runtime {
             max_in_words: max_in,
             max_resident_words: max_resident,
             violations,
+            t_start_ns,
+            t_end_ns: treeemb_obs::now_ns(),
         });
         let dist = Dist::from_parts(parts);
         self.metrics
@@ -367,9 +378,11 @@ impl Runtime {
         U: Words + Send,
         F: Fn(MachineId, Vec<T>) -> Vec<U> + Sync,
     {
+        let mut sp = treeemb_obs::span!("mpc.map_local", "items" = input.total_len());
         let cap = self.capacity();
         let parts = exec::par_map_indexed(input.into_parts(), self.cfg.threads, f);
         let dist = Dist::from_parts(parts);
+        sp.arg("out_words", dist.total_words() as u64);
         if self.cfg.strict {
             for (i, p) in dist.parts().iter().enumerate() {
                 let w = words::of_slice(p);
@@ -437,6 +450,18 @@ impl Runtime {
                 violations += 1;
             }
         }
+        if treeemb_obs::enabled() {
+            treeemb_obs::mark(
+                format!("mpc.round:{label} (accounted)"),
+                &[
+                    ("round", round as u64),
+                    ("sent_words", sent_words as u64),
+                    ("max_out_words", max_out_words as u64),
+                    ("max_resident_words", max_resident_words as u64),
+                ],
+            );
+        }
+        let now = treeemb_obs::now_ns();
         self.metrics.record_round(RoundStats {
             round,
             label: label.into(),
@@ -445,6 +470,8 @@ impl Runtime {
             max_in_words,
             max_resident_words,
             violations,
+            t_start_ns: now,
+            t_end_ns: now,
         });
         Ok(())
     }
@@ -452,6 +479,7 @@ impl Runtime {
     /// Extracts a distributed collection to the host in machine order.
     /// This models reading off the final output and is not an MPC round.
     pub fn gather<T>(&mut self, input: Dist<T>) -> Vec<T> {
+        let _sp = treeemb_obs::span!("mpc.gather", "items" = input.total_len());
         let mut out = Vec::with_capacity(input.total_len());
         for part in input.into_parts() {
             out.extend(part);

@@ -32,12 +32,147 @@
 use std::any::Any;
 use std::mem::MaybeUninit;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::Instant;
 
 /// Upper bound on pool threads; `threads` arguments beyond
 /// `MAX_WORKERS + 1` still work, they just share these workers.
-const MAX_WORKERS: usize = 31;
+pub const MAX_WORKERS: usize = 31;
+
+/// Cumulative executor instrumentation. Counters are always on (a
+/// handful of relaxed atomic adds per *job*, which is per MPC round —
+/// far off the per-item hot path); trace events additionally flow to
+/// `treeemb-obs` only while tracing is armed.
+struct ExecCounters {
+    /// Jobs published to the worker pool.
+    jobs: AtomicU64,
+    /// Jobs that took the sequential fallback (tiny input, `threads <= 1`,
+    /// or nested inside another job).
+    sequential_jobs: AtomicU64,
+    /// Items processed across all jobs (parallel and sequential).
+    tasks: AtomicU64,
+    /// Chunk claims served off job cursors (work-stealing granularity).
+    chunk_claims: AtomicU64,
+    /// Nanoseconds calling threads spent participating in jobs.
+    caller_busy_ns: AtomicU64,
+    /// Per-worker nanoseconds inside job entry points.
+    worker_busy_ns: [AtomicU64; MAX_WORKERS],
+    /// Per-worker nanoseconds parked between jobs (after first wake).
+    worker_idle_ns: [AtomicU64; MAX_WORKERS],
+    /// High-water mark of concurrently running pool workers
+    /// (saturation gauge; excludes the calling thread).
+    max_running: AtomicU64,
+}
+
+static COUNTERS: ExecCounters = ExecCounters {
+    jobs: AtomicU64::new(0),
+    sequential_jobs: AtomicU64::new(0),
+    tasks: AtomicU64::new(0),
+    chunk_claims: AtomicU64::new(0),
+    caller_busy_ns: AtomicU64::new(0),
+    worker_busy_ns: [const { AtomicU64::new(0) }; MAX_WORKERS],
+    worker_idle_ns: [const { AtomicU64::new(0) }; MAX_WORKERS],
+    max_running: AtomicU64::new(0),
+};
+
+/// Snapshot of the executor's cumulative utilization counters.
+#[derive(Debug, Clone, Default)]
+pub struct ExecStats {
+    /// Jobs published to the worker pool.
+    pub jobs: u64,
+    /// Jobs that ran on the sequential fallback path.
+    pub sequential_jobs: u64,
+    /// Items processed across all jobs.
+    pub tasks: u64,
+    /// Chunk claims served off job cursors.
+    pub chunk_claims: u64,
+    /// Nanoseconds calling threads spent participating in jobs.
+    pub caller_busy_ns: u64,
+    /// Pool workers spawned so far (lazily, up to [`MAX_WORKERS`]).
+    pub workers_spawned: usize,
+    /// Per-spawned-worker busy nanoseconds, indexed by worker id.
+    pub worker_busy_ns: Vec<u64>,
+    /// Per-spawned-worker idle nanoseconds (parked between jobs).
+    pub worker_idle_ns: Vec<u64>,
+    /// High-water mark of concurrently running pool workers.
+    pub max_concurrent_workers: u64,
+}
+
+impl ExecStats {
+    /// Total busy nanoseconds across callers and pool workers.
+    pub fn busy_ns(&self) -> u64 {
+        self.caller_busy_ns + self.worker_busy_ns.iter().sum::<u64>()
+    }
+
+    /// Fraction of pool-worker wall time spent busy (busy / (busy+idle));
+    /// 1.0 when no worker has ever been spawned.
+    pub fn utilization(&self) -> f64 {
+        let busy: u64 = self.worker_busy_ns.iter().sum();
+        let idle: u64 = self.worker_idle_ns.iter().sum();
+        if busy + idle == 0 {
+            return 1.0;
+        }
+        busy as f64 / (busy + idle) as f64
+    }
+}
+
+/// Snapshots the executor's cumulative counters.
+pub fn stats() -> ExecStats {
+    let spawned = pool().state.lock().expect("executor pool poisoned").spawned;
+    ExecStats {
+        jobs: COUNTERS.jobs.load(Ordering::Relaxed),
+        sequential_jobs: COUNTERS.sequential_jobs.load(Ordering::Relaxed),
+        tasks: COUNTERS.tasks.load(Ordering::Relaxed),
+        chunk_claims: COUNTERS.chunk_claims.load(Ordering::Relaxed),
+        caller_busy_ns: COUNTERS.caller_busy_ns.load(Ordering::Relaxed),
+        workers_spawned: spawned,
+        worker_busy_ns: COUNTERS.worker_busy_ns[..spawned]
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect(),
+        worker_idle_ns: COUNTERS.worker_idle_ns[..spawned]
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect(),
+        max_concurrent_workers: COUNTERS.max_running.load(Ordering::Relaxed),
+    }
+}
+
+/// Zeroes the cumulative counters (workers stay spawned). Intended for
+/// benchmark harnesses that attribute counters to phases.
+pub fn reset_stats() {
+    COUNTERS.jobs.store(0, Ordering::Relaxed);
+    COUNTERS.sequential_jobs.store(0, Ordering::Relaxed);
+    COUNTERS.tasks.store(0, Ordering::Relaxed);
+    COUNTERS.chunk_claims.store(0, Ordering::Relaxed);
+    COUNTERS.caller_busy_ns.store(0, Ordering::Relaxed);
+    for c in &COUNTERS.worker_busy_ns {
+        c.store(0, Ordering::Relaxed);
+    }
+    for c in &COUNTERS.worker_idle_ns {
+        c.store(0, Ordering::Relaxed);
+    }
+    COUNTERS.max_running.store(0, Ordering::Relaxed);
+}
+
+/// Emits the headline executor counters into the active trace (no-op
+/// while tracing is disarmed). Called after each pool job.
+fn publish_trace_counters() {
+    if !treeemb_obs::enabled() {
+        return;
+    }
+    treeemb_obs::counter("exec.jobs", COUNTERS.jobs.load(Ordering::Relaxed));
+    treeemb_obs::counter("exec.tasks", COUNTERS.tasks.load(Ordering::Relaxed));
+    treeemb_obs::counter(
+        "exec.chunk_claims",
+        COUNTERS.chunk_claims.load(Ordering::Relaxed),
+    );
+    treeemb_obs::counter(
+        "exec.max_concurrent_workers",
+        COUNTERS.max_running.load(Ordering::Relaxed),
+    );
+}
 
 /// Cursor chunks handed out per participant (on average); >1 so uneven
 /// per-item costs still balance, small enough to keep claims rare.
@@ -101,9 +236,10 @@ fn pool() -> &'static Pool {
     })
 }
 
-fn worker_loop(pool: &'static Pool) {
+fn worker_loop(pool: &'static Pool, slot: usize) {
     let mut seen_epoch = 0u64;
     loop {
+        let wait_start = Instant::now();
         let job = {
             let mut st = pool.state.lock().expect("executor pool poisoned");
             loop {
@@ -111,16 +247,24 @@ fn worker_loop(pool: &'static Pool) {
                     seen_epoch = st.epoch;
                     if let Some(job) = st.job {
                         st.running += 1;
+                        COUNTERS
+                            .max_running
+                            .fetch_max(st.running as u64, Ordering::Relaxed);
                         break job;
                     }
                 }
                 st = pool.work_cv.wait(st).expect("executor pool poisoned");
             }
         };
+        COUNTERS.worker_idle_ns[slot]
+            .fetch_add(wait_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         IN_EXECUTOR.with(|f| f.set(true));
+        let busy_start = Instant::now();
         // SAFETY: the caller keeps the descriptor alive until `running`
         // returns to zero, which cannot happen before this call returns.
         unsafe { (job.run)(job.data) };
+        COUNTERS.worker_busy_ns[slot]
+            .fetch_add(busy_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         IN_EXECUTOR.with(|f| f.set(false));
         let mut st = pool.state.lock().expect("executor pool poisoned");
         st.running -= 1;
@@ -143,9 +287,10 @@ impl Pool {
                 st = self.idle_cv.wait(st).expect("executor pool poisoned");
             }
             while st.spawned < helpers {
+                let slot = st.spawned;
                 std::thread::Builder::new()
-                    .name(format!("treeemb-exec-{}", st.spawned))
-                    .spawn(move || worker_loop(self))
+                    .name(format!("treeemb-exec-{slot}"))
+                    .spawn(move || worker_loop(self, slot))
                     .expect("spawn executor worker");
                 st.spawned += 1;
             }
@@ -154,9 +299,13 @@ impl Pool {
         }
         self.work_cv.notify_all();
         IN_EXECUTOR.with(|f| f.set(true));
+        let busy_start = Instant::now();
         // SAFETY: the descriptor is on our own stack and stays valid
         // until the drain below completes.
         unsafe { (job.run)(job.data) };
+        COUNTERS
+            .caller_busy_ns
+            .fetch_add(busy_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         IN_EXECUTOR.with(|f| f.set(false));
         let mut st = self.state.lock().expect("executor pool poisoned");
         st.job = None;
@@ -202,13 +351,18 @@ impl JobCore {
     /// items run out; on panic, halts all participants and records the
     /// first payload.
     fn drive(&self, work: impl Fn(usize, usize)) {
+        let mut claims = 0u64;
         let result = catch_unwind(AssertUnwindSafe(|| loop {
             let start = self.cursor.fetch_add(self.chunk, Ordering::Relaxed);
             if start >= self.n {
                 break;
             }
+            claims += 1;
             work(start, (start + self.chunk).min(self.n));
         }));
+        if claims > 0 {
+            COUNTERS.chunk_claims.fetch_add(claims, Ordering::Relaxed);
+        }
         if let Err(payload) = result {
             // Park the cursor past the end so other participants stop at
             // their next claim.
@@ -265,7 +419,9 @@ where
     F: Fn(usize, T) -> U + Sync,
 {
     let n = items.len();
+    COUNTERS.tasks.fetch_add(n as u64, Ordering::Relaxed);
     if threads <= 1 || n <= 1 || in_executor() {
+        COUNTERS.sequential_jobs.fetch_add(1, Ordering::Relaxed);
         return items
             .into_iter()
             .enumerate()
@@ -273,6 +429,10 @@ where
             .collect();
     }
     let participants = threads.min(n);
+    COUNTERS.jobs.fetch_add(1, Ordering::Relaxed);
+    let mut sp = treeemb_obs::Span::enter("exec.map");
+    sp.arg("items", n as u64);
+    sp.arg("participants", participants as u64);
     let mut items = items;
     let src = items.as_ptr();
     // Elements are now owned by the cursor protocol; the emptied Vec
@@ -295,6 +455,8 @@ where
             run: run_map::<T, U, F>,
         },
     );
+    drop(sp);
+    publish_trace_counters();
     if let Some(payload) = job.core.into_panic() {
         resume_unwind(payload);
     }
@@ -337,13 +499,19 @@ where
     F: Fn(usize, &mut T) + Sync,
 {
     let n = items.len();
+    COUNTERS.tasks.fetch_add(n as u64, Ordering::Relaxed);
     if threads <= 1 || n <= 1 || in_executor() {
+        COUNTERS.sequential_jobs.fetch_add(1, Ordering::Relaxed);
         for (i, x) in items.iter_mut().enumerate() {
             f(i, x);
         }
         return;
     }
     let participants = threads.min(n);
+    COUNTERS.jobs.fetch_add(1, Ordering::Relaxed);
+    let mut sp = treeemb_obs::Span::enter("exec.for_each");
+    sp.arg("items", n as u64);
+    sp.arg("participants", participants as u64);
     let job = ForEachJob {
         core: JobCore::new(n, participants),
         base: items.as_mut_ptr(),
@@ -356,6 +524,8 @@ where
             run: run_for_each::<T, F>,
         },
     );
+    drop(sp);
+    publish_trace_counters();
     if let Some(payload) = job.core.into_panic() {
         resume_unwind(payload);
     }
@@ -483,5 +653,34 @@ mod tests {
     fn threads_beyond_items_are_capped() {
         let out = par_map_indexed(vec![1u32, 2, 3], 64, |_, x| x * 2);
         assert_eq!(out, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn counters_track_jobs_tasks_and_utilization() {
+        // Counters are global and other tests run concurrently, so only
+        // monotone delta assertions are safe.
+        let before = stats();
+        let n = 256usize;
+        // Per-item work long enough that pool workers reliably wake and
+        // claim chunks before the caller drains the cursor alone.
+        let out = par_map_indexed((0..n as u64).collect::<Vec<u64>>(), 8, |_, x| {
+            std::thread::sleep(std::time::Duration::from_micros(100));
+            x + 1
+        });
+        assert_eq!(out.len(), n);
+        let seq = par_map_indexed(vec![1u64], 8, |_, x| x); // n<=1 fallback
+        assert_eq!(seq, vec![1]);
+        let after = stats();
+        assert!(after.jobs > before.jobs);
+        assert!(after.sequential_jobs > before.sequential_jobs);
+        assert!(after.tasks > before.tasks + n as u64);
+        assert!(after.chunk_claims > before.chunk_claims);
+        assert!(after.busy_ns() > before.busy_ns());
+        assert!(after.workers_spawned >= 7);
+        assert_eq!(after.worker_busy_ns.len(), after.workers_spawned);
+        assert_eq!(after.worker_idle_ns.len(), after.workers_spawned);
+        assert!(after.max_concurrent_workers >= 1);
+        let u = after.utilization();
+        assert!((0.0..=1.0).contains(&u), "utilization {u} out of range");
     }
 }

@@ -22,6 +22,7 @@ where
     L: Fn(&[T]) -> Option<A> + Sync,
     C: Fn(A, A) -> A + Sync + Send + Copy,
 {
+    let _sp = treeemb_obs::span!("mpc.reduce", "items" = input.total_len());
     // Local reduction (fused, no round).
     let partials: Vec<Vec<A>> = input
         .parts()

@@ -17,6 +17,7 @@ pub fn broadcast<T>(rt: &mut Runtime, payload: Vec<T>) -> MpcResult<Dist<T>>
 where
     T: Words + Send + Sync + Clone,
 {
+    let _sp = treeemb_obs::span!("mpc.broadcast", "payload_words" = words::of_slice(&payload));
     let m = rt.num_machines();
     let payload_words = words::of_slice(&payload);
     if payload_words > rt.capacity() {
@@ -70,6 +71,7 @@ where
 /// Also records the replicated payload in the total-space meter
 /// (`M × payload_words` resident words after the broadcast).
 pub fn broadcast_accounted(rt: &mut Runtime, payload_words: usize) -> MpcResult<()> {
+    let _sp = treeemb_obs::span!("mpc.broadcast_accounted", "payload_words" = payload_words);
     let m = rt.num_machines();
     if payload_words > rt.capacity() {
         return Err(MpcError::AlgorithmFailure(format!(

@@ -46,6 +46,7 @@ where
     KR: Fn(&R) -> u64 + Sync + Send + Copy,
     M: Fn(&L, &R) -> U + Sync + Send,
 {
+    let _sp = treeemb_obs::span!("mpc.join");
     let m = rt.num_machines();
     // One round: both sides route by key hash. Left records are kept on
     // their destination; right records likewise; then local join.

@@ -13,6 +13,7 @@ where
     T: Words + Send + Sync,
     F: Fn(&T) -> u64 + Sync + Send + Copy,
 {
+    let _sp = treeemb_obs::span!("mpc.shuffle", "items" = input.total_len());
     let m = rt.num_machines();
     rt.round("shuffle", input, move |_, shard, em| {
         for rec in shard {
@@ -32,6 +33,7 @@ where
     T: Words + Send + Sync,
     F: Fn(&T) -> u64 + Sync + Send + Copy,
 {
+    let _sp = treeemb_obs::span!("mpc.dedup");
     let shuffled = shuffle_by_key(rt, input, key)?;
     rt.map_local(shuffled, move |_, shard| {
         let mut seen = std::collections::HashSet::with_capacity(shard.len());
@@ -59,6 +61,7 @@ where
     F: Fn(&T) -> u64 + Sync + Send + Copy,
     G: Fn(u64, Vec<T>) -> U + Sync + Send,
 {
+    let _sp = treeemb_obs::span!("mpc.group_fold");
     let shuffled = shuffle_by_key(rt, input, key)?;
     rt.map_local(shuffled, move |_, shard| {
         let mut groups: std::collections::HashMap<u64, Vec<T>> = std::collections::HashMap::new();

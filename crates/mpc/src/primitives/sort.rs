@@ -30,6 +30,7 @@ where
     K: Ord + Words + Send + Sync + Clone + 'static,
     F: Fn(&T) -> K + Sync + Send + Copy,
 {
+    let _sp = treeemb_obs::span!("mpc.sort", "items" = input.total_len());
     if 2 * rt.num_machines() > rt.capacity() {
         return sort_two_level(rt, input, key);
     }

@@ -1,5 +1,10 @@
 //! Property tests for the partitioning layer: geometric invariants that
 //! must hold for every point, scale, and seed.
+//!
+//! Case count defaults to 64 (fast, every CI run); set
+//! `TREEEMB_PROPTEST_CASES=2048` (or higher) for the promoted nightly
+//! sweep — in particular the packed-key vs exact-key partition parity
+//! property, which guards the `assign_packed` hot path.
 
 use proptest::prelude::*;
 use treeemb_geom::metrics::dist;
@@ -7,8 +12,16 @@ use treeemb_partition::ball::{BallGrid, GridSequence};
 use treeemb_partition::grid::ShiftedGrid;
 use treeemb_partition::hybrid::HybridLevel;
 
+/// `TREEEMB_PROPTEST_CASES` override, defaulting to 64.
+fn cases() -> u32 {
+    std::env::var("TREEEMB_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
 
     #[test]
     fn covered_point_is_within_radius_of_its_ball(
