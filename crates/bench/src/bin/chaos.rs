@@ -1,0 +1,154 @@
+//! Chaos runner CLI: replays fault plans and sweeps the seeded plan
+//! matrix against the conformance contract (bit-identical output or a
+//! typed error — never silent corruption, never a panic).
+//!
+//! ```text
+//! # replay one plan against the full pipeline
+//! cargo run --release -p treeemb-bench --bin chaos -- --faults plan.json
+//!
+//! # replay against one stage
+//! cargo run --release -p treeemb-bench --bin chaos -- --faults plan.json --stage fjlt
+//!
+//! # sweep the seeded matrix over all stages (CI nightly job)
+//! cargo run --release -p treeemb-bench --bin chaos -- --sweep --seeds 4 \
+//!     --out chaos-report.json --shrunk-out chaos-shrunk-plan.json
+//! ```
+//!
+//! Exit status: 0 when every check is conformant or a typed error;
+//! 1 when any check found a mismatch or a panic (the shrunk minimal
+//! reproducing plan is printed as JSON and, with `--shrunk-out`,
+//! written to disk for artifact upload); 2 on usage errors.
+
+use treeemb_bench::chaos::{
+    check_stage, report_json, shrink_failure, sweep, ChaosVerdict, Stage, SweepRow,
+};
+use treeemb_mpc::fault::FaultPlan;
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: chaos [--faults plan.json] [--stage fjlt|partition|pipeline|all]\n\
+         \x20            [--sweep] [--seeds N] [--data-seed N]\n\
+         \x20            [--out report.json] [--shrunk-out plan.json]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+    }
+    let stages: Vec<Stage> = match flag_value(&args, "--stage").as_deref() {
+        None | Some("all") => Stage::all().to_vec(),
+        Some(name) => match Stage::parse(name) {
+            Some(s) => vec![s],
+            None => {
+                eprintln!("unknown stage {name:?}");
+                usage();
+            }
+        },
+    };
+    let data_seed: u64 = flag_value(&args, "--data-seed")
+        .map(|s| s.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(0);
+
+    let rows: Vec<SweepRow> = if let Some(path) = flag_value(&args, "--faults") {
+        // Replay mode: one plan from disk against the selected stages.
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        let plan = FaultPlan::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(2);
+        });
+        stages
+            .iter()
+            .map(|&stage| {
+                let outcome = check_stage(stage, &plan, data_seed);
+                SweepRow {
+                    stage,
+                    plan_name: "replay",
+                    seed: data_seed,
+                    plan: plan.clone(),
+                    outcome,
+                }
+            })
+            .collect()
+    } else if args.iter().any(|a| a == "--sweep") {
+        let seeds: u64 = flag_value(&args, "--seeds")
+            .map(|s| s.parse().unwrap_or_else(|_| usage()))
+            .unwrap_or(4);
+        sweep(&stages, seeds)
+    } else {
+        usage();
+    };
+
+    for row in &rows {
+        let (tag, detail) = match &row.outcome.verdict {
+            ChaosVerdict::Conformant => ("ok   ", String::new()),
+            ChaosVerdict::TypedError(e) => ("typed", e.clone()),
+            ChaosVerdict::Mismatch(e) => ("FAIL ", e.clone()),
+            ChaosVerdict::Panicked(e) => ("PANIC", e.clone()),
+        };
+        eprintln!(
+            "[{tag}] stage={} plan={} seed={} faults={} {detail}",
+            row.stage.name(),
+            row.plan_name,
+            row.seed,
+            row.outcome.faults,
+        );
+    }
+
+    let report = report_json(&rows);
+    if let Some(out) = flag_value(&args, "--out") {
+        std::fs::write(&out, &report).unwrap_or_else(|e| {
+            eprintln!("cannot write {out}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("wrote {out}");
+    }
+
+    let failures: Vec<&SweepRow> = rows
+        .iter()
+        .filter(|r| r.outcome.verdict.is_failure())
+        .collect();
+    if failures.is_empty() {
+        eprintln!("chaos: {} checks, all conformant or typed", rows.len());
+        let _ = treeemb_obs::flush_trace();
+        return;
+    }
+
+    // Shrink the first failure to a minimal reproducing plan and emit it
+    // as JSON on stdout (and to --shrunk-out for CI artifact upload).
+    let first = failures[0];
+    eprintln!(
+        "chaos: {} of {} checks FAILED; shrinking stage={} plan={} seed={} ...",
+        failures.len(),
+        rows.len(),
+        first.stage.name(),
+        first.plan_name,
+        first.seed
+    );
+    let minimal = shrink_failure(first);
+    let plan_json = minimal.to_json();
+    println!("{plan_json}");
+    eprintln!(
+        "replay with: chaos --faults plan.json --stage {} --data-seed {}",
+        first.stage.name(),
+        first.seed
+    );
+    if let Some(out) = flag_value(&args, "--shrunk-out") {
+        let _ = std::fs::write(&out, &plan_json);
+        eprintln!("wrote {out}");
+    }
+    let _ = treeemb_obs::flush_trace();
+    std::process::exit(1);
+}

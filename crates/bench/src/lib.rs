@@ -7,6 +7,7 @@
 //! markdown tables. `Scale::quick()` keeps everything under a few
 //! seconds per experiment for CI; `Scale::full()` uses larger sweeps.
 
+pub mod chaos;
 pub mod experiments;
 pub mod table;
 

@@ -17,6 +17,7 @@ use crate::seq::Embedding;
 use treeemb_fjlt::fjlt::FjltParams;
 use treeemb_fjlt::mpc::fjlt_mpc;
 use treeemb_geom::PointSet;
+use treeemb_mpc::fault::{FaultEvent, FaultPlan};
 use treeemb_mpc::metrics::Metrics;
 use treeemb_mpc::{MpcConfig, Runtime};
 
@@ -43,6 +44,14 @@ pub struct PipelineConfig {
     pub threads: usize,
     /// Skip the FJLT even for high-dimensional input (ablation runs).
     pub skip_jl: bool,
+    /// Deterministic fault plan injected into the MPC runtime (chaos
+    /// testing); `None` disables injection entirely.
+    pub faults: Option<FaultPlan>,
+    /// Whole-pipeline attempts when a run dies of *retryable* transient
+    /// faults (see [`treeemb_mpc::MpcError::is_retryable`]); attempt `a`
+    /// runs under `faults.for_attempt(a)`. Non-retryable errors
+    /// (capacity, coverage) return immediately. Clamped to at least 1.
+    pub fault_attempts: u32,
 }
 
 impl Default for PipelineConfig {
@@ -58,6 +67,8 @@ impl Default for PipelineConfig {
             machines: None,
             threads: 4,
             skip_jl: false,
+            faults: None,
+            fault_attempts: 1,
         }
     }
 }
@@ -114,17 +125,52 @@ pub struct PipelineReport {
 /// called), the run also writes a Chrome-trace file on completion, with
 /// one span per stage nesting every MPC round underneath.
 pub fn run(ps: &PointSet, cfg: &PipelineConfig) -> Result<PipelineReport, EmbedError> {
+    run_faulted(ps, cfg).0
+}
+
+/// Like [`run`], but also returns every fault the MPC runtime injected
+/// across all attempts — the raw material chaos tooling shrinks a
+/// failing seeded run from. With `cfg.faults` unset, the event list is
+/// always empty and the result matches [`run`] exactly.
+pub fn run_faulted(
+    ps: &PointSet,
+    cfg: &PipelineConfig,
+) -> (Result<PipelineReport, EmbedError>, Vec<FaultEvent>) {
     if ps.is_empty() {
-        return Err(EmbedError::EmptyInput);
+        return (Err(EmbedError::EmptyInput), Vec::new());
     }
-    let run_sp = treeemb_obs::span!("pipeline.run", "n" = ps.len(), "d" = ps.dim());
+    let mpc_cfg = size_mpc_config(ps, cfg);
+    let attempts = cfg.fault_attempts.max(1);
+    let mut events: Vec<FaultEvent> = Vec::new();
+    for attempt in 0..attempts {
+        let mut rt = Runtime::new(mpc_cfg.clone());
+        if let Some(plan) = &cfg.faults {
+            rt.set_fault_plan(plan.for_attempt(attempt));
+        }
+        let result = run_attempt(ps, cfg, &mut rt);
+        events.extend(rt.take_fault_log());
+        match result {
+            Err(EmbedError::Mpc(e)) if e.is_retryable() && attempt + 1 < attempts => {
+                treeemb_obs::mark(
+                    "pipeline.retry",
+                    &[("attempt", attempt as u64 + 1), ("of", attempts as u64)],
+                );
+            }
+            other => return (other, events),
+        }
+    }
+    unreachable!("the last attempt always returns");
+}
+
+/// Pre-sizes the MPC configuration for `ps`: machines must hold the
+/// broadcast grids (Lemma 8). At asymptotic n the fully scalable `N^ε`
+/// dominates the grid payload; at bench scales the payload's log
+/// factors win, so we take the max of the two (with 4x slack for the
+/// estimate).
+fn size_mpc_config(ps: &PointSet, cfg: &PipelineConfig) -> MpcConfig {
     let n = ps.len();
     let d = ps.dim();
     let input_words = n * (d + 1);
-    // Pre-size capacity: machines must hold the broadcast grids
-    // (Lemma 8). At asymptotic n the fully scalable `N^ε` dominates the
-    // grid payload; at bench scales the payload's log factors win, so we
-    // take the max of the two (with 4x slack for the estimate).
     let k_target = treeemb_fjlt::dense::target_dimension(n, cfg.xi);
     let jl_planned = d > k_target && !cfg.skip_jl;
     let working_dim_est = if jl_planned { k_target } else { d };
@@ -152,9 +198,20 @@ pub fn run(ps: &PointSet, cfg: &PipelineConfig) -> Result<PipelineReport, EmbedE
     if let (Some(m), None) = (cfg.machines, cfg.capacity) {
         mpc_cfg = mpc_cfg.with_machines(m);
     }
-    mpc_cfg = mpc_cfg.with_threads(cfg.threads);
-    let mut rt = Runtime::new(mpc_cfg);
+    mpc_cfg.with_threads(cfg.threads)
+}
 
+/// One attempt of the pipeline on a fresh runtime.
+fn run_attempt(
+    ps: &PointSet,
+    cfg: &PipelineConfig,
+    rt: &mut Runtime,
+) -> Result<PipelineReport, EmbedError> {
+    let run_sp = treeemb_obs::span!("pipeline.run", "n" = ps.len(), "d" = ps.dim());
+    let n = ps.len();
+    let d = ps.dim();
+    let k_target = treeemb_fjlt::dense::target_dimension(n, cfg.xi);
+    let jl_planned = d > k_target && !cfg.skip_jl;
     let mut stages: Vec<StageStats> = Vec::with_capacity(3);
     // Meters a stage as the (wall, rounds, sent-words) delta around `f`,
     // under a `pipeline.<name>` span so the MPC rounds inside nest.
@@ -182,7 +239,7 @@ pub fn run(ps: &PointSet, cfg: &PipelineConfig) -> Result<PipelineReport, EmbedE
     let (working, fjlt_params, min_sep, fjlt_rounds) = if jl_planned {
         let params = FjltParams::for_dataset(n, d, cfg.xi, cfg.seed ^ 0xF17);
         let mut projected = None;
-        staged("fjlt", &mut rt, &mut stages, &mut |rt| {
+        staged("fjlt", rt, &mut stages, &mut |rt| {
             projected = Some(fjlt_mpc(rt, ps, &params)?);
             Ok(())
         })?;
@@ -201,7 +258,7 @@ pub fn run(ps: &PointSet, cfg: &PipelineConfig) -> Result<PipelineReport, EmbedE
     // Step 2: schedule. The default r keeps bucket dimensions practical
     // (see params::pipeline_r). Machine-local: no rounds, only wall time.
     let mut params_slot = None;
-    staged("schedule", &mut rt, &mut stages, &mut |_| {
+    staged("schedule", rt, &mut stages, &mut |_| {
         let r = cfg
             .r
             .unwrap_or_else(|| crate::params::pipeline_r(n, working.dim()));
@@ -217,7 +274,7 @@ pub fn run(ps: &PointSet, cfg: &PipelineConfig) -> Result<PipelineReport, EmbedE
 
     // Steps 3–4: embed and report.
     let mut embedding_slot = None;
-    staged("embed", &mut rt, &mut stages, &mut |rt| {
+    staged("embed", rt, &mut stages, &mut |rt| {
         embedding_slot = Some(embed_mpc(rt, &working, &params, cfg.seed)?);
         Ok(())
     })?;

@@ -4,6 +4,7 @@
 use crate::config::MpcConfig;
 use crate::error::{CapacityPhase, MpcError, MpcResult};
 use crate::exec;
+use crate::fault::{FaultEvent, FaultKind, FaultPlan};
 use crate::metrics::{Metrics, RoundStats};
 use crate::words::{self, Words};
 
@@ -97,6 +98,12 @@ impl<U: Words> Emitter<U> {
     }
 }
 
+/// Fault-injection state attached to a runtime (see [`crate::fault`]).
+struct FaultState {
+    plan: FaultPlan,
+    log: Vec<FaultEvent>,
+}
+
 /// The simulated MPC runtime: executes rounds, enforces capacity, and
 /// meters everything.
 pub struct Runtime {
@@ -106,6 +113,9 @@ pub struct Runtime {
     /// grids): charged against capacity and total space in every
     /// subsequent round.
     overlay_words: usize,
+    /// Deterministic fault injection; `None` (the default) costs one
+    /// never-taken branch per decision point.
+    faults: Option<Box<FaultState>>,
 }
 
 impl Runtime {
@@ -115,6 +125,7 @@ impl Runtime {
             cfg,
             metrics: Metrics::new(),
             overlay_words: 0,
+            faults: None,
         }
     }
 
@@ -128,9 +139,17 @@ impl Runtime {
         self.cfg.num_machines
     }
 
-    /// Per-machine capacity in words.
+    /// Per-machine capacity in words, as squeezed by any active fault
+    /// plan at the current round (the configured capacity otherwise).
     pub fn capacity(&self) -> usize {
-        self.cfg.capacity_words
+        let base = self.cfg.capacity_words;
+        match &self.faults {
+            None => base,
+            Some(f) => match f.plan.squeeze_at(self.metrics.rounds()) {
+                Some(squeezed) => squeezed.min(base),
+                None => base,
+            },
+        }
     }
 
     /// Metrics accumulated so far.
@@ -143,6 +162,100 @@ impl Runtime {
         self.metrics = Metrics::new();
     }
 
+    /// Attaches a deterministic fault plan. Subsequent rounds consult it
+    /// at every decision point; injected faults are appended to
+    /// [`Runtime::fault_log`] and recorded as `fault.*` marks in the
+    /// active trace.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(Box::new(FaultState {
+            plan,
+            log: Vec::new(),
+        }));
+    }
+
+    /// Detaches any fault plan (keeps metrics).
+    pub fn clear_fault_plan(&mut self) {
+        self.faults = None;
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(|f| &f.plan)
+    }
+
+    /// Every fault injected so far, in deterministic order.
+    pub fn fault_log(&self) -> &[FaultEvent] {
+        self.faults.as_ref().map_or(&[], |f| &f.log)
+    }
+
+    /// Drains the fault log (the plan stays attached).
+    pub fn take_fault_log(&mut self) -> Vec<FaultEvent> {
+        self.faults
+            .as_mut()
+            .map_or_else(Vec::new, |f| std::mem::take(&mut f.log))
+    }
+
+    /// Records the active capacity squeeze (once per round index) when
+    /// a fault plan is shrinking the effective capacity. Called by every
+    /// entry point that consults [`Runtime::capacity`], so the fault log
+    /// names the squeeze no matter where the squeezed run fails.
+    fn note_squeeze(&mut self) {
+        let cap = self.capacity();
+        if cap >= self.cfg.capacity_words {
+            return;
+        }
+        let round = self.metrics.rounds();
+        if self
+            .fault_log()
+            .iter()
+            .any(|e| e.kind == FaultKind::Squeeze && e.round == round)
+        {
+            return;
+        }
+        self.record_fault(FaultEvent {
+            round,
+            attempt: 0,
+            kind: FaultKind::Squeeze,
+            machine: 0,
+            msg_index: usize::MAX,
+            value: cap as u64,
+        });
+    }
+
+    /// Appends an injected fault to the log and the active trace.
+    fn record_fault(&mut self, ev: FaultEvent) {
+        if treeemb_obs::enabled() {
+            let name = match ev.kind {
+                FaultKind::Straggle => "fault.straggle",
+                FaultKind::Drop => "fault.drop",
+                FaultKind::Duplicate => "fault.duplicate",
+                FaultKind::Unavailable => "fault.unavailable",
+                FaultKind::Backoff => "fault.backoff",
+                FaultKind::Squeeze => "fault.squeeze",
+            };
+            treeemb_obs::mark(
+                name,
+                &[
+                    ("round", ev.round as u64),
+                    ("attempt", ev.attempt as u64),
+                    ("machine", ev.machine as u64),
+                    (
+                        "msg_index",
+                        if ev.msg_index == usize::MAX {
+                            0
+                        } else {
+                            ev.msg_index as u64
+                        },
+                    ),
+                    ("value", ev.value),
+                ],
+            );
+        }
+        if let Some(f) = &mut self.faults {
+            f.log.push(ev);
+        }
+    }
+
     /// Loads host data onto the cluster, filling machines greedily in
     /// word units. Mirrors the MPC convention that the input arrives
     /// pre-distributed; it does not count as a round.
@@ -151,6 +264,7 @@ impl Runtime {
     /// space cannot hold the input.
     pub fn distribute<T: Words + Send>(&mut self, items: Vec<T>) -> MpcResult<Dist<T>> {
         let mut sp = treeemb_obs::span!("mpc.distribute", "items" = items.len());
+        self.note_squeeze();
         let cap = self.capacity();
         let m = self.num_machines();
         let mut parts: Vec<Vec<T>> = (0..m).map(|_| Vec::new()).collect();
@@ -221,6 +335,29 @@ impl Runtime {
         let mut sp = treeemb_obs::Span::enter_with(|| format!("mpc.round:{label}"));
         sp.arg("round", round_idx as u64);
 
+        // Fault injection: a small cloned snapshot of the plan lets the
+        // borrow of `self` stay free for event recording; the clone only
+        // happens when a plan is attached.
+        let plan: Option<FaultPlan> = self.faults.as_ref().map(|f| f.plan.clone());
+        let log_mark = self.faults.as_ref().map_or(0, |f| f.log.len());
+        self.note_squeeze();
+        let straggle: Vec<u64> = match &plan {
+            Some(p) => (0..m).map(|i| p.straggle_ns(round_idx, i)).collect(),
+            None => Vec::new(),
+        };
+        for (machine, &delay_ns) in straggle.iter().enumerate() {
+            if delay_ns > 0 {
+                self.record_fault(FaultEvent {
+                    round: round_idx,
+                    attempt: 0,
+                    kind: FaultKind::Straggle,
+                    machine,
+                    msg_index: usize::MAX,
+                    value: delay_ns,
+                });
+            }
+        }
+
         // Phase 1: input capacity check.
         let mut worst_input: Option<(usize, usize)> = None;
         for (i, p) in input.parts().iter().enumerate() {
@@ -249,8 +386,14 @@ impl Runtime {
             msgs: Vec<(MachineId, U)>,
             out_words: usize,
         }
+        let straggle_ref = &straggle;
         let outputs: Vec<MachineOut<U>> =
             exec::par_map_indexed(input.into_parts(), self.cfg.threads, |i, shard| {
+                if let Some(&delay_ns) = straggle_ref.get(i) {
+                    if delay_ns > 0 {
+                        std::thread::sleep(std::time::Duration::from_nanos(delay_ns));
+                    }
+                }
                 let mut em = Emitter::new();
                 let kept = f(i, shard, &mut em);
                 MachineOut {
@@ -259,6 +402,77 @@ impl Runtime {
                     out_words: em.out_words,
                 }
             });
+
+        // Phase 2b: the exchange attempt loop. Transient faults (machine
+        // unavailability, message drop/duplication) are detected by the
+        // simulated exchange protocol and the whole exchange retries with
+        // simulated backoff, re-transmitting from the already-computed
+        // machine outputs. A clean attempt therefore delivers exactly the
+        // fault-free message sequence — downstream state is bit-identical
+        // — and exhausting the retry budget surfaces as the typed
+        // `RetriesExhausted`, never as silently corrupted output.
+        let mut attempts = 1u32;
+        if let Some(p) = plan.as_ref().filter(|p| !p.is_empty()) {
+            let max_attempts = p.max_retries.saturating_add(1);
+            let mut attempt = 0u32;
+            loop {
+                let mut events: Vec<FaultEvent> = Vec::new();
+                for machine in 0..m {
+                    if p.unavailable(round_idx, attempt, machine) {
+                        events.push(FaultEvent {
+                            round: round_idx,
+                            attempt,
+                            kind: FaultKind::Unavailable,
+                            machine,
+                            msg_index: usize::MAX,
+                            value: 0,
+                        });
+                    }
+                }
+                if events.is_empty() {
+                    // All machines up: scan the exchange for message
+                    // faults, in (source, emission index) order.
+                    for (src, out) in outputs.iter().enumerate() {
+                        for idx in 0..out.msgs.len() {
+                            if let Some(kind) = p.msg_fault(round_idx, attempt, src, idx) {
+                                events.push(FaultEvent {
+                                    round: round_idx,
+                                    attempt,
+                                    kind,
+                                    machine: src,
+                                    msg_index: idx,
+                                    value: 0,
+                                });
+                            }
+                        }
+                    }
+                }
+                if events.is_empty() {
+                    attempts = attempt + 1;
+                    break;
+                }
+                for ev in events {
+                    self.record_fault(ev);
+                }
+                if attempt + 1 >= max_attempts {
+                    sp.arg("attempts", max_attempts as u64);
+                    return Err(MpcError::RetriesExhausted {
+                        round: round_idx,
+                        label: label.into(),
+                        attempts: max_attempts,
+                    });
+                }
+                self.record_fault(FaultEvent {
+                    round: round_idx,
+                    attempt,
+                    kind: FaultKind::Backoff,
+                    machine: 0,
+                    msg_index: usize::MAX,
+                    value: p.backoff_for(attempt + 1),
+                });
+                attempt += 1;
+            }
+        }
 
         // Phase 3: validate sends and route messages.
         let mut sent_total = 0usize;
@@ -361,6 +575,8 @@ impl Runtime {
             violations,
             t_start_ns,
             t_end_ns: treeemb_obs::now_ns(),
+            attempts,
+            faults: self.faults.as_ref().map_or(0, |f| f.log.len() - log_mark),
         });
         let dist = Dist::from_parts(parts);
         self.metrics
@@ -379,6 +595,7 @@ impl Runtime {
         F: Fn(MachineId, Vec<T>) -> Vec<U> + Sync,
     {
         let mut sp = treeemb_obs::span!("mpc.map_local", "items" = input.total_len());
+        self.note_squeeze();
         let cap = self.capacity();
         let parts = exec::par_map_indexed(input.into_parts(), self.cfg.threads, f);
         let dist = Dist::from_parts(parts);
@@ -428,6 +645,7 @@ impl Runtime {
         max_in_words: usize,
         max_resident_words: usize,
     ) -> MpcResult<()> {
+        self.note_squeeze();
         let cap = self.capacity();
         let round = self.metrics.rounds();
         let mut violations = 0usize;
@@ -472,6 +690,8 @@ impl Runtime {
             violations,
             t_start_ns: now,
             t_end_ns: now,
+            attempts: 1,
+            faults: 0,
         });
         Ok(())
     }

@@ -64,6 +64,28 @@ pub enum MpcError {
     /// An algorithm-level failure (e.g. ball-partition coverage failed;
     /// Theorem 1 permits reporting failure with probability `1/poly(n)`).
     AlgorithmFailure(String),
+    /// Injected transient faults (drops, duplications, unavailability)
+    /// persisted through every exchange attempt the fault plan's retry
+    /// budget allowed, so the round could not complete. Only produced
+    /// under fault injection; retryable at the pipeline level.
+    RetriesExhausted {
+        /// Round index (0-based) whose exchange kept failing.
+        round: usize,
+        /// Human-readable label of the round.
+        label: String,
+        /// Exchange attempts made (`max_retries + 1`).
+        attempts: u32,
+    },
+}
+
+impl MpcError {
+    /// Whether a fresh attempt of the whole computation could plausibly
+    /// succeed: true only for transient-fault exhaustion. Capacity
+    /// violations, bad destinations, and algorithm failures are
+    /// deterministic for a fixed input/seed and will recur.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, MpcError::RetriesExhausted { .. })
+    }
 }
 
 impl fmt::Display for MpcError {
@@ -93,6 +115,16 @@ impl fmt::Display for MpcError {
                 )
             }
             MpcError::AlgorithmFailure(msg) => write!(f, "algorithm reported failure: {msg}"),
+            MpcError::RetriesExhausted {
+                round,
+                label,
+                attempts,
+            } => {
+                write!(
+                    f,
+                    "round {round} ({label}) failed all {attempts} exchange attempts under injected faults"
+                )
+            }
         }
     }
 }
@@ -122,5 +154,33 @@ mod tests {
         let a = MpcError::AlgorithmFailure("x".into());
         let b = MpcError::AlgorithmFailure("x".into());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn only_retries_exhausted_is_retryable() {
+        let transient = MpcError::RetriesExhausted {
+            round: 2,
+            label: "sort:route".into(),
+            attempts: 4,
+        };
+        assert!(transient.is_retryable());
+        assert!(transient.to_string().contains("round 2"));
+        assert!(transient.to_string().contains("4 exchange attempts"));
+        let capacity = MpcError::CapacityExceeded {
+            machine: 0,
+            round: 0,
+            phase: CapacityPhase::Input,
+            words: 10,
+            capacity: 5,
+            label: "x".into(),
+        };
+        assert!(!capacity.is_retryable());
+        assert!(!MpcError::AlgorithmFailure("x".into()).is_retryable());
+        assert!(!MpcError::BadDestination {
+            source: 0,
+            dest: 9,
+            num_machines: 2
+        }
+        .is_retryable());
     }
 }

@@ -1,0 +1,1234 @@
+//! Deterministic fault injection for the simulated MPC runtime.
+//!
+//! FoundationDB-style deterministic simulation testing: a [`FaultPlan`]
+//! is a seeded, serializable schedule of faults — per-round machine
+//! slowdown (stragglers), message drop/duplication on the exchange
+//! path, transient machine unavailability with bounded retry/backoff,
+//! and capacity squeezes that shrink `s` mid-run. The runtime consults
+//! the plan at fixed points of [`crate::cluster::Runtime::round`]; every
+//! decision is a pure function of `(plan seed, round, attempt, machine,
+//! message index)`, so a fixed plan reproduces the identical fault
+//! sequence and the identical run outcome across repeated runs and
+//! across thread counts.
+//!
+//! **Failure model.** Exchange faults (drop, duplication, machine
+//! unavailability) are *detected* by the simulated exchange protocol —
+//! real shuffles run sequence numbers and acknowledgements — and the
+//! whole exchange is retried with bounded backoff, re-transmitting from
+//! the machines' already-computed outputs. A successful attempt
+//! delivers exactly the fault-free message sequence, so a run under any
+//! retryable fault schedule either produces output bit-identical to the
+//! fault-free run or fails with the typed
+//! [`MpcError::RetriesExhausted`](crate::error::MpcError) — never a
+//! silently wrong result. Capacity squeezes are *not* retryable: they
+//! shrink the effective `s` from a given round onward, and loads that
+//! no longer fit surface as the usual typed capacity errors
+//! ([`MpcError::CapacityExceeded`](crate::error::MpcError)), mirroring
+//! Theorem 1's "report failure" contract.
+//!
+//! Plans round-trip through a small hand-rolled JSON codec
+//! ([`FaultPlan::to_json`] / [`FaultPlan::from_json`]; the workspace
+//! builds without serde), which is what `treeemb-bench --bin chaos --
+//! --faults plan.json` replays and what the shrinker
+//! ([`shrink_plan`]) prints for a minimal reproducing schedule.
+
+use crate::cluster::mix_seed;
+use std::fmt;
+
+/// Domain-separation tags for the per-fault-kind hash streams.
+const TAG_DROP: u64 = 0xD809;
+const TAG_DUP: u64 = 0xD7B1;
+const TAG_UNAVAILABLE: u64 = 0x0FF1;
+const TAG_STRAGGLE: u64 = 0x51C0;
+
+/// Seeded probabilistic fault rates, applied independently per decision
+/// point through the plan's hash stream. All probabilities are clamped
+/// to `[0, 1]`; `0` disables the class.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultRates {
+    /// Probability a message is dropped in transit (per message, per
+    /// attempt).
+    pub drop: f64,
+    /// Probability a message is duplicated in transit (per message, per
+    /// attempt).
+    pub duplicate: f64,
+    /// Probability a machine is unavailable for an exchange attempt
+    /// (per machine, per attempt).
+    pub unavailable: f64,
+    /// Probability a machine straggles in a round (per machine, per
+    /// round).
+    pub straggle: f64,
+    /// Injected delay when a rate-based straggle fires, nanoseconds.
+    pub straggle_ns: u64,
+}
+
+impl FaultRates {
+    /// True when every rate is zero (no probabilistic injection).
+    pub fn is_zero(&self) -> bool {
+        self.drop <= 0.0 && self.duplicate <= 0.0 && self.unavailable <= 0.0 && self.straggle <= 0.0
+    }
+}
+
+/// One explicitly scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSpec {
+    /// Machine `machine` sleeps `delay_ns` while computing round
+    /// `round`.
+    Straggle {
+        /// Affected round (0-based, the runtime's round counter).
+        round: usize,
+        /// Straggling machine.
+        machine: usize,
+        /// Injected delay in nanoseconds.
+        delay_ns: u64,
+    },
+    /// Message `msg_index` emitted by `src` is dropped in exchange
+    /// attempt `attempt` of round `round`.
+    Drop {
+        /// Affected round.
+        round: usize,
+        /// Exchange attempt (0-based) within the round.
+        attempt: u32,
+        /// Source machine of the message.
+        src: usize,
+        /// Index of the message in the source's emission order.
+        msg_index: usize,
+    },
+    /// Like [`FaultSpec::Drop`], but the message is duplicated.
+    Duplicate {
+        /// Affected round.
+        round: usize,
+        /// Exchange attempt within the round.
+        attempt: u32,
+        /// Source machine of the message.
+        src: usize,
+        /// Index of the message in the source's emission order.
+        msg_index: usize,
+    },
+    /// Machine `machine` is unavailable for exchange attempt `attempt`
+    /// of round `round`.
+    Unavailable {
+        /// Affected round.
+        round: usize,
+        /// Exchange attempt within the round.
+        attempt: u32,
+        /// Unavailable machine.
+        machine: usize,
+    },
+    /// From round `from_round` onward the effective per-machine
+    /// capacity shrinks to `capacity_words` (never grows; multiple
+    /// squeezes take the minimum). Non-retryable.
+    Squeeze {
+        /// First affected round.
+        from_round: usize,
+        /// New effective capacity in words.
+        capacity_words: usize,
+    },
+}
+
+/// What kind of fault an injected [`FaultEvent`] was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A machine slept during round compute.
+    Straggle,
+    /// A message was dropped in transit.
+    Drop,
+    /// A message was duplicated in transit.
+    Duplicate,
+    /// A machine was unavailable for an exchange attempt.
+    Unavailable,
+    /// The runtime backed off before retrying an exchange.
+    Backoff,
+    /// A capacity squeeze was in force for a round.
+    Squeeze,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultKind::Straggle => "straggle",
+            FaultKind::Drop => "drop",
+            FaultKind::Duplicate => "duplicate",
+            FaultKind::Unavailable => "unavailable",
+            FaultKind::Backoff => "backoff",
+            FaultKind::Squeeze => "squeeze",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One fault the runtime actually injected, recorded in deterministic
+/// order (rounds ascending; within a round: squeeze, straggles by
+/// machine, then per attempt: unavailability by machine, message faults
+/// by `(src, msg_index)`, backoff last).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Round the fault fired in.
+    pub round: usize,
+    /// Exchange attempt within the round (0 for straggle/squeeze).
+    pub attempt: u32,
+    /// What happened.
+    pub kind: FaultKind,
+    /// Affected machine (source machine for message faults).
+    pub machine: usize,
+    /// Message index for drop/duplicate faults; `usize::MAX` otherwise.
+    pub msg_index: usize,
+    /// Kind-specific value: delay (ns) for straggle/backoff, effective
+    /// capacity (words) for squeeze, 0 otherwise.
+    pub value: u64,
+}
+
+/// A seeded, serializable fault schedule.
+///
+/// Attach to a runtime with
+/// [`Runtime::set_fault_plan`](crate::cluster::Runtime::set_fault_plan).
+/// The default plan injects nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the probabilistic decision stream.
+    pub seed: u64,
+    /// Exchange retries per round beyond the first attempt; retryable
+    /// faults that persist through `max_retries + 1` attempts surface
+    /// as [`MpcError::RetriesExhausted`](crate::error::MpcError).
+    pub max_retries: u32,
+    /// Base simulated backoff before retry `k` (recorded as
+    /// `backoff_ns << k`, capped at 20 doublings; the simulation records
+    /// rather than sleeps it).
+    pub backoff_ns: u64,
+    /// Probabilistic fault rates.
+    pub rates: FaultRates,
+    /// Explicitly scheduled faults.
+    pub scheduled: Vec<FaultSpec>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            max_retries: 3,
+            backoff_ns: 1_000_000,
+            rates: FaultRates::default(),
+            scheduled: Vec::new(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan with the given decision seed and no faults enabled.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Builder: sets the probabilistic rates.
+    pub fn with_rates(mut self, rates: FaultRates) -> Self {
+        self.rates = rates;
+        self
+    }
+
+    /// Builder: sets the per-round exchange retry budget.
+    pub fn with_max_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Builder: appends a scheduled fault.
+    pub fn with_fault(mut self, spec: FaultSpec) -> Self {
+        self.scheduled.push(spec);
+        self
+    }
+
+    /// True when the plan can never inject anything.
+    pub fn is_empty(&self) -> bool {
+        self.rates.is_zero() && self.scheduled.is_empty()
+    }
+
+    /// Derives the plan for pipeline-level retry attempt `attempt`:
+    /// attempt 0 is the plan verbatim; later attempts re-seed the
+    /// probabilistic stream (scheduled faults are kept, so purely
+    /// scheduled plans fail deterministically on every attempt).
+    pub fn for_attempt(&self, attempt: u32) -> FaultPlan {
+        let mut plan = self.clone();
+        if attempt > 0 {
+            plan.seed = mix_seed(self.seed, 0xA77E_0000 | attempt as u64);
+        }
+        plan
+    }
+
+    /// Builds an explicit (rate-free) plan that replays exactly the
+    /// faults in `events` — the starting point for shrinking a failing
+    /// seeded run down to a minimal reproducing schedule.
+    pub fn from_events(events: &[FaultEvent], max_retries: u32, backoff_ns: u64) -> FaultPlan {
+        let mut scheduled = Vec::new();
+        for e in events {
+            let spec = match e.kind {
+                FaultKind::Straggle => FaultSpec::Straggle {
+                    round: e.round,
+                    machine: e.machine,
+                    delay_ns: e.value,
+                },
+                FaultKind::Drop => FaultSpec::Drop {
+                    round: e.round,
+                    attempt: e.attempt,
+                    src: e.machine,
+                    msg_index: e.msg_index,
+                },
+                FaultKind::Duplicate => FaultSpec::Duplicate {
+                    round: e.round,
+                    attempt: e.attempt,
+                    src: e.machine,
+                    msg_index: e.msg_index,
+                },
+                FaultKind::Unavailable => FaultSpec::Unavailable {
+                    round: e.round,
+                    attempt: e.attempt,
+                    machine: e.machine,
+                },
+                FaultKind::Squeeze => FaultSpec::Squeeze {
+                    from_round: e.round,
+                    capacity_words: e.value as usize,
+                },
+                // Backoffs are consequences, not causes.
+                FaultKind::Backoff => continue,
+            };
+            if !scheduled.contains(&spec) {
+                scheduled.push(spec);
+            }
+        }
+        FaultPlan {
+            seed: 0,
+            max_retries,
+            backoff_ns,
+            rates: FaultRates::default(),
+            scheduled,
+        }
+    }
+
+    // ---- decision points (pure functions of the plan) ----
+
+    /// One draw from the decision stream; uniform in `[0, 1)`.
+    fn draw(&self, tag: u64, round: usize, attempt: u32, a: u64, b: u64) -> f64 {
+        let h = mix_seed(
+            mix_seed(
+                mix_seed(self.seed, tag),
+                mix_seed(round as u64, attempt as u64),
+            ),
+            mix_seed(a, b),
+        );
+        // 53 high bits -> uniform double in [0, 1).
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn rate_hit(&self, p: f64, tag: u64, round: usize, attempt: u32, a: u64, b: u64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        p >= 1.0 || self.draw(tag, round, attempt, a, b) < p
+    }
+
+    /// Delay machine `machine` should sleep while computing `round`, in
+    /// nanoseconds (0 = no straggle).
+    pub fn straggle_ns(&self, round: usize, machine: usize) -> u64 {
+        let mut delay = 0u64;
+        for s in &self.scheduled {
+            if let FaultSpec::Straggle {
+                round: r,
+                machine: m,
+                delay_ns,
+            } = s
+            {
+                if *r == round && *m == machine {
+                    delay = delay.max(*delay_ns);
+                }
+            }
+        }
+        if self.rate_hit(
+            self.rates.straggle,
+            TAG_STRAGGLE,
+            round,
+            0,
+            machine as u64,
+            0,
+        ) {
+            delay = delay.max(self.rates.straggle_ns);
+        }
+        delay
+    }
+
+    /// Whether `machine` is unavailable for exchange attempt `attempt`
+    /// of `round`.
+    pub fn unavailable(&self, round: usize, attempt: u32, machine: usize) -> bool {
+        self.scheduled.iter().any(|s| {
+            matches!(s, FaultSpec::Unavailable { round: r, attempt: a, machine: m }
+                     if *r == round && *a == attempt && *m == machine)
+        }) || self.rate_hit(
+            self.rates.unavailable,
+            TAG_UNAVAILABLE,
+            round,
+            attempt,
+            machine as u64,
+            0,
+        )
+    }
+
+    /// Fault, if any, hitting message `msg_index` from `src` in
+    /// exchange attempt `attempt` of `round`. Drop shadows duplicate.
+    pub fn msg_fault(
+        &self,
+        round: usize,
+        attempt: u32,
+        src: usize,
+        msg_index: usize,
+    ) -> Option<FaultKind> {
+        for s in &self.scheduled {
+            match s {
+                FaultSpec::Drop {
+                    round: r,
+                    attempt: a,
+                    src: sm,
+                    msg_index: i,
+                } if *r == round && *a == attempt && *sm == src && *i == msg_index => {
+                    return Some(FaultKind::Drop)
+                }
+                FaultSpec::Duplicate {
+                    round: r,
+                    attempt: a,
+                    src: sm,
+                    msg_index: i,
+                } if *r == round && *a == attempt && *sm == src && *i == msg_index => {
+                    return Some(FaultKind::Duplicate)
+                }
+                _ => {}
+            }
+        }
+        if self.rate_hit(
+            self.rates.drop,
+            TAG_DROP,
+            round,
+            attempt,
+            src as u64,
+            msg_index as u64,
+        ) {
+            return Some(FaultKind::Drop);
+        }
+        if self.rate_hit(
+            self.rates.duplicate,
+            TAG_DUP,
+            round,
+            attempt,
+            src as u64,
+            msg_index as u64,
+        ) {
+            return Some(FaultKind::Duplicate);
+        }
+        None
+    }
+
+    /// Effective capacity cap in force at `round`, if any squeeze
+    /// applies (the minimum over applicable squeezes).
+    pub fn squeeze_at(&self, round: usize) -> Option<usize> {
+        self.scheduled
+            .iter()
+            .filter_map(|s| match s {
+                FaultSpec::Squeeze {
+                    from_round,
+                    capacity_words,
+                } if *from_round <= round => Some(*capacity_words),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Simulated backoff before retry attempt `next_attempt`
+    /// (exponential, capped at 20 doublings).
+    pub fn backoff_for(&self, next_attempt: u32) -> u64 {
+        self.backoff_ns
+            .saturating_mul(1u64 << next_attempt.saturating_sub(1).min(20))
+    }
+
+    // ---- JSON codec ----
+
+    /// Serializes the plan as a self-contained JSON object.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(256 + 96 * self.scheduled.len());
+        let _ = write!(
+            out,
+            "{{\n  \"seed\": {},\n  \"max_retries\": {},\n  \"backoff_ns\": {},\n  \"rates\": {{\"drop\": {}, \"duplicate\": {}, \"unavailable\": {}, \"straggle\": {}, \"straggle_ns\": {}}},\n  \"scheduled\": [",
+            self.seed,
+            self.max_retries,
+            self.backoff_ns,
+            fmt_f64(self.rates.drop),
+            fmt_f64(self.rates.duplicate),
+            fmt_f64(self.rates.unavailable),
+            fmt_f64(self.rates.straggle),
+            self.rates.straggle_ns,
+        );
+        for (i, s) in self.scheduled.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            match s {
+                FaultSpec::Straggle {
+                    round,
+                    machine,
+                    delay_ns,
+                } => {
+                    let _ = write!(
+                        out,
+                        "{{\"kind\": \"straggle\", \"round\": {round}, \"machine\": {machine}, \"delay_ns\": {delay_ns}}}"
+                    );
+                }
+                FaultSpec::Drop {
+                    round,
+                    attempt,
+                    src,
+                    msg_index,
+                } => {
+                    let _ = write!(
+                        out,
+                        "{{\"kind\": \"drop\", \"round\": {round}, \"attempt\": {attempt}, \"src\": {src}, \"msg_index\": {msg_index}}}"
+                    );
+                }
+                FaultSpec::Duplicate {
+                    round,
+                    attempt,
+                    src,
+                    msg_index,
+                } => {
+                    let _ = write!(
+                        out,
+                        "{{\"kind\": \"duplicate\", \"round\": {round}, \"attempt\": {attempt}, \"src\": {src}, \"msg_index\": {msg_index}}}"
+                    );
+                }
+                FaultSpec::Unavailable {
+                    round,
+                    attempt,
+                    machine,
+                } => {
+                    let _ = write!(
+                        out,
+                        "{{\"kind\": \"unavailable\", \"round\": {round}, \"attempt\": {attempt}, \"machine\": {machine}}}"
+                    );
+                }
+                FaultSpec::Squeeze {
+                    from_round,
+                    capacity_words,
+                } => {
+                    let _ = write!(
+                        out,
+                        "{{\"kind\": \"squeeze\", \"from_round\": {from_round}, \"capacity_words\": {capacity_words}}}"
+                    );
+                }
+            }
+        }
+        out.push_str(if self.scheduled.is_empty() {
+            "]\n}\n"
+        } else {
+            "\n  ]\n}\n"
+        });
+        out
+    }
+
+    /// Parses a plan from the JSON [`Self::to_json`] emits. Unknown
+    /// keys are ignored; missing keys take their defaults.
+    pub fn from_json(text: &str) -> Result<FaultPlan, String> {
+        let value = json::parse(text)?;
+        let obj = value.as_obj().ok_or("fault plan must be a JSON object")?;
+        let mut plan = FaultPlan::new(0);
+        for (k, v) in obj {
+            match k.as_str() {
+                "seed" => plan.seed = v.as_u64().ok_or("seed must be an integer")?,
+                "max_retries" => {
+                    plan.max_retries = v.as_u64().ok_or("max_retries must be an integer")? as u32
+                }
+                "backoff_ns" => {
+                    plan.backoff_ns = v.as_u64().ok_or("backoff_ns must be an integer")?
+                }
+                "rates" => {
+                    let r = v.as_obj().ok_or("rates must be an object")?;
+                    for (rk, rv) in r {
+                        let f = rv.as_f64().ok_or("rate must be a number")?;
+                        match rk.as_str() {
+                            "drop" => plan.rates.drop = f,
+                            "duplicate" => plan.rates.duplicate = f,
+                            "unavailable" => plan.rates.unavailable = f,
+                            "straggle" => plan.rates.straggle = f,
+                            "straggle_ns" => plan.rates.straggle_ns = f as u64,
+                            _ => {}
+                        }
+                    }
+                }
+                "scheduled" => {
+                    let arr = v.as_arr().ok_or("scheduled must be an array")?;
+                    for item in arr {
+                        plan.scheduled.push(parse_spec(item)?);
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(plan)
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    // Shortest representation that round-trips (JSON needs a fraction
+    // marker only for non-integers; integers print exactly).
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{:.1}", v)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn parse_spec(v: &json::Value) -> Result<FaultSpec, String> {
+    let obj = v.as_obj().ok_or("scheduled fault must be an object")?;
+    let get = |key: &str| -> Option<u64> {
+        obj.iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.as_u64())
+    };
+    let kind = obj
+        .iter()
+        .find(|(k, _)| k == "kind")
+        .and_then(|(_, v)| v.as_str())
+        .ok_or("scheduled fault missing kind")?;
+    let field = |key: &str| get(key).ok_or_else(|| format!("{kind} fault missing {key}"));
+    Ok(match kind {
+        "straggle" => FaultSpec::Straggle {
+            round: field("round")? as usize,
+            machine: field("machine")? as usize,
+            delay_ns: field("delay_ns")?,
+        },
+        "drop" => FaultSpec::Drop {
+            round: field("round")? as usize,
+            attempt: field("attempt")? as u32,
+            src: field("src")? as usize,
+            msg_index: field("msg_index")? as usize,
+        },
+        "duplicate" => FaultSpec::Duplicate {
+            round: field("round")? as usize,
+            attempt: field("attempt")? as u32,
+            src: field("src")? as usize,
+            msg_index: field("msg_index")? as usize,
+        },
+        "unavailable" => FaultSpec::Unavailable {
+            round: field("round")? as usize,
+            attempt: field("attempt")? as u32,
+            machine: field("machine")? as usize,
+        },
+        "squeeze" => FaultSpec::Squeeze {
+            from_round: field("from_round")? as usize,
+            capacity_words: field("capacity_words")? as usize,
+        },
+        other => return Err(format!("unknown fault kind {other:?}")),
+    })
+}
+
+/// Greedily minimizes an explicit plan while `still_fails` keeps
+/// returning true: repeatedly tries dropping each scheduled fault (and
+/// zeroing each probabilistic rate), keeping any removal that preserves
+/// the failure, until a fixpoint. The result is 1-minimal: removing any
+/// single remaining element makes the failure disappear.
+pub fn shrink_plan(plan: &FaultPlan, still_fails: impl Fn(&FaultPlan) -> bool) -> FaultPlan {
+    let mut current = plan.clone();
+    // Rates first: a failure that reproduces from the scheduled list
+    // alone is far easier to read.
+    if !current.rates.is_zero() {
+        let mut zeroed = current.clone();
+        zeroed.rates = FaultRates::default();
+        if still_fails(&zeroed) {
+            current = zeroed;
+        }
+    }
+    loop {
+        let mut removed_any = false;
+        let mut i = 0;
+        while i < current.scheduled.len() {
+            let mut candidate = current.clone();
+            candidate.scheduled.remove(i);
+            if still_fails(&candidate) {
+                current = candidate;
+                removed_any = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !removed_any {
+            break;
+        }
+    }
+    current
+}
+
+/// Minimal recursive-descent JSON parser for the plan schema (objects,
+/// arrays, strings, integers, floats, booleans, null). The workspace
+/// builds without serde; this is the read half of the hand-rolled codec.
+pub mod json {
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// A number without fraction/exponent, within `i128`.
+        Int(i128),
+        /// Any other number.
+        Float(f64),
+        /// A string literal.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, in source order.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// The object entries, if this is an object.
+        pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Obj(o) => Some(o),
+                _ => None,
+            }
+        }
+
+        /// The array elements, if this is an array.
+        pub fn as_arr(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(a) => Some(a),
+                _ => None,
+            }
+        }
+
+        /// The string contents, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The value as a `u64`, if it is a non-negative integer.
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Int(i) if *i >= 0 && *i <= u64::MAX as i128 => Some(*i as u64),
+                _ => None,
+            }
+        }
+
+        /// The value as an `f64`, if it is any number.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Int(i) => Some(*i as f64),
+                Value::Float(f) => Some(*f),
+                _ => None,
+            }
+        }
+
+        /// Looks up `key` in an object.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            self.as_obj()?
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+        }
+    }
+
+    /// Parses one JSON document (trailing whitespace allowed).
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        skip_ws(b, pos);
+        if *pos < b.len() && b[*pos] == c {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", c as char, *pos))
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            None => Err("unexpected end of input".into()),
+            Some(b'{') => {
+                *pos += 1;
+                let mut obj = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Obj(obj));
+                }
+                loop {
+                    skip_ws(b, pos);
+                    let key = match parse_value(b, pos)? {
+                        Value::Str(s) => s,
+                        _ => return Err(format!("object key must be a string at byte {}", *pos)),
+                    };
+                    expect(b, pos, b':')?;
+                    let val = parse_value(b, pos)?;
+                    obj.push((key, val));
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Obj(obj));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *pos += 1;
+                let mut arr = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Arr(arr));
+                }
+                loop {
+                    arr.push(parse_value(b, pos)?);
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Arr(arr));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                    }
+                }
+            }
+            Some(b'"') => {
+                *pos += 1;
+                let mut s = String::new();
+                loop {
+                    match b.get(*pos) {
+                        None => return Err("unterminated string".into()),
+                        Some(b'"') => {
+                            *pos += 1;
+                            return Ok(Value::Str(s));
+                        }
+                        Some(b'\\') => {
+                            *pos += 1;
+                            match b.get(*pos) {
+                                Some(b'"') => s.push('"'),
+                                Some(b'\\') => s.push('\\'),
+                                Some(b'/') => s.push('/'),
+                                Some(b'n') => s.push('\n'),
+                                Some(b'r') => s.push('\r'),
+                                Some(b't') => s.push('\t'),
+                                Some(b'u') => {
+                                    let hex =
+                                        b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                                    let code = u32::from_str_radix(
+                                        std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                        16,
+                                    )
+                                    .map_err(|_| "bad \\u escape")?;
+                                    s.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                                    *pos += 4;
+                                }
+                                other => return Err(format!("bad escape {other:?}")),
+                            }
+                            *pos += 1;
+                        }
+                        Some(&c) => {
+                            // Multi-byte UTF-8 sequences pass through.
+                            let start = *pos;
+                            let len = if c < 0x80 {
+                                1
+                            } else if c < 0xE0 {
+                                2
+                            } else if c < 0xF0 {
+                                3
+                            } else {
+                                4
+                            };
+                            let chunk = b
+                                .get(start..start + len)
+                                .ok_or("truncated UTF-8 sequence")?;
+                            s.push_str(std::str::from_utf8(chunk).map_err(|_| "invalid UTF-8")?);
+                            *pos += len;
+                        }
+                    }
+                }
+            }
+            Some(b't') if b[*pos..].starts_with(b"true") => {
+                *pos += 4;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') if b[*pos..].starts_with(b"false") => {
+                *pos += 5;
+                Ok(Value::Bool(false))
+            }
+            Some(b'n') if b[*pos..].starts_with(b"null") => {
+                *pos += 4;
+                Ok(Value::Null)
+            }
+            Some(_) => {
+                let start = *pos;
+                let mut is_float = false;
+                while *pos < b.len() {
+                    match b[*pos] {
+                        b'0'..=b'9' | b'-' | b'+' => *pos += 1,
+                        b'.' | b'e' | b'E' => {
+                            is_float = true;
+                            *pos += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| "bad number")?;
+                if text.is_empty() {
+                    return Err(format!("unexpected character at byte {start}"));
+                }
+                if is_float {
+                    text.parse::<f64>()
+                        .map(Value::Float)
+                        .map_err(|e| format!("bad number {text:?}: {e}"))
+                } else {
+                    text.parse::<i128>()
+                        .map(Value::Int)
+                        .map_err(|e| format!("bad number {text:?}: {e}"))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_injects_nothing() {
+        let p = FaultPlan::new(7);
+        assert!(p.is_empty());
+        for round in 0..20 {
+            for machine in 0..8 {
+                assert_eq!(p.straggle_ns(round, machine), 0);
+                assert!(!p.unavailable(round, 0, machine));
+                assert_eq!(p.msg_fault(round, 0, machine, 0), None);
+            }
+            assert_eq!(p.squeeze_at(round), None);
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_functions_of_inputs() {
+        let p = FaultPlan::new(42).with_rates(FaultRates {
+            drop: 0.5,
+            duplicate: 0.3,
+            unavailable: 0.2,
+            straggle: 0.4,
+            straggle_ns: 1_000,
+        });
+        for round in 0..10 {
+            for attempt in 0..3 {
+                for src in 0..6 {
+                    for idx in 0..6 {
+                        assert_eq!(
+                            p.msg_fault(round, attempt, src, idx),
+                            p.msg_fault(round, attempt, src, idx)
+                        );
+                    }
+                    assert_eq!(
+                        p.unavailable(round, attempt, src),
+                        p.unavailable(round, attempt, src)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rates_hit_at_roughly_their_probability() {
+        let p = FaultPlan::new(3).with_rates(FaultRates {
+            drop: 0.25,
+            ..FaultRates::default()
+        });
+        let n = 4000;
+        let hits = (0..n)
+            .filter(|&i| p.msg_fault(0, 0, 0, i).is_some())
+            .count();
+        let rate = hits as f64 / n as f64;
+        assert!((0.2..0.3).contains(&rate), "empirical rate {rate}");
+    }
+
+    #[test]
+    fn extreme_rates_are_exact() {
+        let always = FaultPlan::new(1).with_rates(FaultRates {
+            drop: 1.0,
+            ..FaultRates::default()
+        });
+        let never = FaultPlan::new(1);
+        for i in 0..100 {
+            assert_eq!(always.msg_fault(0, 0, 0, i), Some(FaultKind::Drop));
+            assert_eq!(never.msg_fault(0, 0, 0, i), None);
+        }
+    }
+
+    #[test]
+    fn retries_decorrelate_attempts() {
+        let p = FaultPlan::new(11).with_rates(FaultRates {
+            drop: 0.5,
+            ..FaultRates::default()
+        });
+        // Some message faulted at attempt 0 must be clean at a later
+        // attempt (the whole point of retrying).
+        let recovered =
+            (0..64).any(|i| p.msg_fault(0, 0, 0, i).is_some() && p.msg_fault(0, 1, 0, i).is_none());
+        assert!(recovered);
+    }
+
+    #[test]
+    fn scheduled_faults_fire_exactly_where_scheduled() {
+        let p = FaultPlan::new(0)
+            .with_fault(FaultSpec::Drop {
+                round: 2,
+                attempt: 0,
+                src: 1,
+                msg_index: 3,
+            })
+            .with_fault(FaultSpec::Unavailable {
+                round: 1,
+                attempt: 1,
+                machine: 0,
+            })
+            .with_fault(FaultSpec::Straggle {
+                round: 0,
+                machine: 2,
+                delay_ns: 500,
+            });
+        assert_eq!(p.msg_fault(2, 0, 1, 3), Some(FaultKind::Drop));
+        assert_eq!(p.msg_fault(2, 1, 1, 3), None, "retry attempt is clean");
+        assert_eq!(p.msg_fault(2, 0, 1, 2), None);
+        assert!(p.unavailable(1, 1, 0));
+        assert!(!p.unavailable(1, 0, 0));
+        assert_eq!(p.straggle_ns(0, 2), 500);
+        assert_eq!(p.straggle_ns(0, 1), 0);
+    }
+
+    #[test]
+    fn squeeze_takes_effect_from_round_and_minimizes() {
+        let p = FaultPlan::new(0)
+            .with_fault(FaultSpec::Squeeze {
+                from_round: 3,
+                capacity_words: 100,
+            })
+            .with_fault(FaultSpec::Squeeze {
+                from_round: 5,
+                capacity_words: 40,
+            });
+        assert_eq!(p.squeeze_at(2), None);
+        assert_eq!(p.squeeze_at(3), Some(100));
+        assert_eq!(p.squeeze_at(5), Some(40));
+        assert_eq!(p.squeeze_at(100), Some(40));
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_saturates() {
+        let p = FaultPlan {
+            backoff_ns: 1000,
+            ..FaultPlan::new(0)
+        };
+        assert_eq!(p.backoff_for(1), 1000);
+        assert_eq!(p.backoff_for(2), 2000);
+        assert_eq!(p.backoff_for(3), 4000);
+        assert!(p.backoff_for(200) >= p.backoff_for(21));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let plan = FaultPlan {
+            seed: u64::MAX - 3,
+            max_retries: 5,
+            backoff_ns: 123,
+            rates: FaultRates {
+                drop: 0.125,
+                duplicate: 0.0,
+                unavailable: 1.0,
+                straggle: 0.5,
+                straggle_ns: 777,
+            },
+            scheduled: vec![
+                FaultSpec::Straggle {
+                    round: 1,
+                    machine: 2,
+                    delay_ns: 10,
+                },
+                FaultSpec::Drop {
+                    round: 0,
+                    attempt: 0,
+                    src: 3,
+                    msg_index: 9,
+                },
+                FaultSpec::Duplicate {
+                    round: 2,
+                    attempt: 1,
+                    src: 0,
+                    msg_index: 0,
+                },
+                FaultSpec::Unavailable {
+                    round: 4,
+                    attempt: 0,
+                    machine: 7,
+                },
+                FaultSpec::Squeeze {
+                    from_round: 3,
+                    capacity_words: 64,
+                },
+            ],
+        };
+        let text = plan.to_json();
+        let back = FaultPlan::from_json(&text).unwrap();
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn empty_plan_round_trips() {
+        let plan = FaultPlan::new(9);
+        assert_eq!(plan, FaultPlan::from_json(&plan.to_json()).unwrap());
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_input() {
+        assert!(FaultPlan::from_json("").is_err());
+        assert!(FaultPlan::from_json("[]").is_err());
+        assert!(FaultPlan::from_json("{\"seed\": }").is_err());
+        assert!(
+            FaultPlan::from_json("{\"scheduled\": [{\"kind\": \"warp\", \"round\": 0}]}").is_err()
+        );
+        assert!(FaultPlan::from_json("{\"scheduled\": [{\"kind\": \"drop\"}]}").is_err());
+    }
+
+    #[test]
+    fn from_events_reconstructs_specs_and_skips_backoffs() {
+        let events = [
+            FaultEvent {
+                round: 1,
+                attempt: 0,
+                kind: FaultKind::Drop,
+                machine: 2,
+                msg_index: 5,
+                value: 0,
+            },
+            FaultEvent {
+                round: 1,
+                attempt: 0,
+                kind: FaultKind::Backoff,
+                machine: 0,
+                msg_index: usize::MAX,
+                value: 1000,
+            },
+            FaultEvent {
+                round: 2,
+                attempt: 0,
+                kind: FaultKind::Squeeze,
+                machine: 0,
+                msg_index: usize::MAX,
+                value: 99,
+            },
+            FaultEvent {
+                round: 2,
+                attempt: 0,
+                kind: FaultKind::Squeeze,
+                machine: 0,
+                msg_index: usize::MAX,
+                value: 99,
+            },
+        ];
+        let plan = FaultPlan::from_events(&events, 2, 10);
+        assert_eq!(
+            plan.scheduled,
+            vec![
+                FaultSpec::Drop {
+                    round: 1,
+                    attempt: 0,
+                    src: 2,
+                    msg_index: 5
+                },
+                FaultSpec::Squeeze {
+                    from_round: 2,
+                    capacity_words: 99
+                },
+            ]
+        );
+        assert!(plan.rates.is_zero());
+    }
+
+    #[test]
+    fn shrink_finds_the_single_culprit() {
+        // Failure reproduces iff the plan contains the round-3 drop.
+        let culprit = FaultSpec::Drop {
+            round: 3,
+            attempt: 0,
+            src: 1,
+            msg_index: 0,
+        };
+        let mut plan = FaultPlan::new(5).with_rates(FaultRates {
+            straggle: 0.2,
+            straggle_ns: 10,
+            ..FaultRates::default()
+        });
+        for r in 0..6 {
+            plan.scheduled.push(FaultSpec::Straggle {
+                round: r,
+                machine: 0,
+                delay_ns: 1,
+            });
+        }
+        plan.scheduled.insert(3, culprit);
+        let shrunk = shrink_plan(&plan, |p| p.scheduled.contains(&culprit));
+        assert_eq!(shrunk.scheduled, vec![culprit]);
+        assert!(shrunk.rates.is_zero());
+    }
+
+    #[test]
+    fn for_attempt_zero_is_identity_and_later_reseeds() {
+        let plan = FaultPlan::new(77).with_fault(FaultSpec::Unavailable {
+            round: 0,
+            attempt: 0,
+            machine: 1,
+        });
+        assert_eq!(plan.for_attempt(0), plan);
+        let a1 = plan.for_attempt(1);
+        assert_ne!(a1.seed, plan.seed);
+        assert_eq!(a1.scheduled, plan.scheduled);
+        assert_eq!(plan.for_attempt(1), plan.for_attempt(1));
+        assert_ne!(plan.for_attempt(1).seed, plan.for_attempt(2).seed);
+    }
+
+    #[test]
+    fn json_parser_handles_escapes_and_nesting() {
+        let v = json::parse(r#"{"a": [1, -2.5, "x\n\"y\"", true, null], "b": {"c": 3}}"#).unwrap();
+        let arr = v.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].as_f64(), Some(-2.5));
+        assert_eq!(arr[2].as_str(), Some("x\n\"y\""));
+        assert_eq!(arr[3], json::Value::Bool(true));
+        assert_eq!(arr[4], json::Value::Null);
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_u64(), Some(3));
+        assert!(json::parse("{\"a\": 1,}").is_err());
+        assert!(json::parse("{} trailing").is_err());
+    }
+}

@@ -42,6 +42,7 @@ pub mod cluster;
 pub mod config;
 pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod metrics;
 pub mod primitives;
 pub mod words;
@@ -49,4 +50,5 @@ pub mod words;
 pub use cluster::{Dist, Emitter, MachineId, Runtime};
 pub use config::MpcConfig;
 pub use error::{MpcError, MpcResult};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultRates, FaultSpec};
 pub use words::Words;

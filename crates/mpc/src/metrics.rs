@@ -24,6 +24,11 @@ pub struct RoundStats {
     pub t_start_ns: u64,
     /// Wall-clock end of the round, same epoch.
     pub t_end_ns: u64,
+    /// Exchange attempts the round took (1 unless fault injection forced
+    /// retries).
+    pub attempts: u32,
+    /// Faults injected during the round (0 without a fault plan).
+    pub faults: usize,
 }
 
 impl RoundStats {
@@ -113,6 +118,16 @@ impl Metrics {
         self.rounds.iter().map(|r| r.violations).sum()
     }
 
+    /// Total faults injected across all rounds (0 without a fault plan).
+    pub fn faults_injected(&self) -> usize {
+        self.rounds.iter().map(|r| r.faults).sum()
+    }
+
+    /// Rounds that needed more than one exchange attempt.
+    pub fn retried_rounds(&self) -> usize {
+        self.rounds.iter().filter(|r| r.attempts > 1).count()
+    }
+
     /// Rounds whose label starts with `prefix` (primitives label their
     /// internal rounds, letting callers attribute round budgets).
     pub fn rounds_labeled(&self, prefix: &str) -> usize {
@@ -192,6 +207,8 @@ mod tests {
             violations: 0,
             t_start_ns: 10 * round as u64,
             t_end_ns: 10 * round as u64 + 5,
+            attempts: 1,
+            faults: 0,
         }
     }
 
@@ -266,5 +283,17 @@ mod tests {
         let s = stats(3, "x", 1, 1);
         assert_eq!(s.t_start_ns, 30);
         assert_eq!(s.wall_ns(), 5);
+    }
+
+    #[test]
+    fn fault_counters_aggregate() {
+        let mut m = Metrics::new();
+        m.record_round(stats(0, "a", 1, 1));
+        let mut retried = stats(1, "b", 1, 1);
+        retried.attempts = 3;
+        retried.faults = 5;
+        m.record_round(retried);
+        assert_eq!(m.faults_injected(), 5);
+        assert_eq!(m.retried_rounds(), 1);
     }
 }

@@ -23,6 +23,7 @@
 
 pub mod ball;
 pub mod coverage;
+pub mod fuzzing;
 pub mod grid;
 pub mod hybrid;
 pub mod ids;

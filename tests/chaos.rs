@@ -1,0 +1,187 @@
+//! Chaos conformance suite (tier-1): under injected faults the pipeline
+//! must either produce output bit-identical to the fault-free run or
+//! return a typed error — never a silently wrong tree, never a panic.
+//! Deeper per-stage sweeps live in the `treeemb-bench` `chaos` binary
+//! (CI nightly); these tests pin the contract on every `cargo test`.
+
+use treeemb_bench::chaos::{check_stage, plan_matrix, sweep, ChaosVerdict, Stage};
+use treeemb_core::pipeline::{self, PipelineConfig};
+use treeemb_core::EmbedError;
+use treeemb_geom::generators;
+use treeemb_mpc::fault::{FaultPlan, FaultRates, FaultSpec};
+use treeemb_mpc::{FaultKind, MpcError};
+
+fn pipeline_cfg(threads: usize) -> PipelineConfig {
+    PipelineConfig {
+        capacity: Some(1 << 15),
+        machines: Some(8),
+        r: Some(4),
+        threads,
+        seed: 0x7EED,
+        ..Default::default()
+    }
+}
+
+fn pinpoint_plan(seed: u64) -> FaultPlan {
+    plan_matrix(seed)
+        .into_iter()
+        .find(|(name, _)| *name == "pinpoint")
+        .map(|(_, plan)| plan)
+        .expect("plan matrix always contains the pinpoint plan")
+}
+
+/// The core conformance claim: a deterministic retryable fault schedule
+/// (one first-attempt message drop per round) leaves every stage's
+/// output bit-identical to its fault-free run after the retry.
+#[test]
+fn retryable_faults_leave_output_bit_identical() {
+    for stage in Stage::all() {
+        let outcome = check_stage(stage, &pinpoint_plan(5), 5);
+        assert_eq!(
+            outcome.verdict,
+            ChaosVerdict::Conformant,
+            "stage {} diverged under a retryable schedule",
+            stage.name()
+        );
+        assert!(
+            outcome.faults > 0,
+            "stage {} injected no faults; the schedule missed every round",
+            stage.name()
+        );
+        assert!(
+            outcome.events.iter().any(|e| e.kind == FaultKind::Drop),
+            "stage {} log has no drop events",
+            stage.name()
+        );
+    }
+}
+
+/// Acceptance criterion: a non-retryable capacity squeeze surfaces from
+/// the full pipeline as a typed `MpcError` — not a panic, not a
+/// silently truncated tree.
+#[test]
+fn capacity_squeeze_is_a_typed_error_from_the_full_pipeline() {
+    let ps = generators::uniform_cube(24, 8, 256, 5);
+    let plan = FaultPlan::new(5).with_fault(FaultSpec::Squeeze {
+        from_round: 2,
+        capacity_words: 32,
+    });
+    let cfg = PipelineConfig {
+        faults: Some(plan),
+        fault_attempts: 2,
+        ..pipeline_cfg(2)
+    };
+    let (result, events) = pipeline::run_faulted(&ps, &cfg);
+    match result {
+        Err(EmbedError::Mpc(e)) => {
+            assert!(
+                matches!(e, MpcError::CapacityExceeded { .. }),
+                "expected a capacity error, got: {e}"
+            );
+            assert!(
+                !e.is_retryable(),
+                "a capacity squeeze must not be classified retryable"
+            );
+        }
+        other => panic!("expected a typed MPC error, got {other:?}"),
+    }
+    assert!(
+        events.iter().any(|e| e.kind == FaultKind::Squeeze),
+        "fault log must name the squeeze that caused the failure"
+    );
+}
+
+/// Acceptance criterion: a fixed (seed, plan) pair reproduces the exact
+/// same fault sequence and outcome regardless of `--threads`.
+#[test]
+fn fault_sequence_and_outcome_are_thread_count_invariant() {
+    let ps = generators::uniform_cube(24, 8, 256, 9);
+    let plan = FaultPlan::new(41)
+        .with_rates(FaultRates {
+            drop: 0.0005,
+            duplicate: 0.0002,
+            unavailable: 0.003,
+            straggle: 0.02,
+            straggle_ns: 2_000,
+        })
+        .with_max_retries(8);
+    let mut baseline: Option<(Result<Vec<u64>, String>, Vec<_>)> = None;
+    for threads in [1usize, 2, 7] {
+        let cfg = PipelineConfig {
+            faults: Some(plan.clone()),
+            fault_attempts: 2,
+            ..pipeline_cfg(threads)
+        };
+        let (result, events) = pipeline::run_faulted(&ps, &cfg);
+        let digest = result
+            .map(|report| {
+                let emb = &report.embedding;
+                let mut bits = Vec::new();
+                for i in 0..ps.len() {
+                    for j in (i + 1)..ps.len() {
+                        bits.push(emb.tree_distance(i, j).to_bits());
+                    }
+                }
+                bits
+            })
+            .map_err(|e| e.to_string());
+        match &baseline {
+            None => baseline = Some((digest, events)),
+            Some((ref_digest, ref_events)) => {
+                assert_eq!(
+                    ref_digest, &digest,
+                    "outcome changed between thread counts (threads={threads})"
+                );
+                assert_eq!(
+                    ref_events, &events,
+                    "fault sequence changed between thread counts (threads={threads})"
+                );
+            }
+        }
+    }
+    let (_, events) = baseline.expect("loop ran");
+    assert!(
+        !events.is_empty(),
+        "plan injected no faults; test is vacuous"
+    );
+}
+
+/// A plan serialized to JSON and parsed back replays the identical run:
+/// same verdict, same fault log. This is what makes the shrunk plans the
+/// chaos binary prints actionable.
+#[test]
+fn json_round_tripped_plan_replays_identically() {
+    let plan = pinpoint_plan(3);
+    let reparsed = FaultPlan::from_json(&plan.to_json()).expect("plan JSON must parse");
+    assert_eq!(plan, reparsed);
+    let a = check_stage(Stage::Partition, &plan, 3);
+    let b = check_stage(Stage::Partition, &reparsed, 3);
+    assert_eq!(a.verdict, b.verdict);
+    assert_eq!(a.events, b.events);
+}
+
+/// Small in-tree slice of the nightly sweep: every (stage, plan, seed)
+/// cell must be conformant or a typed error.
+#[test]
+fn mini_sweep_upholds_the_conformance_contract() {
+    let rows = sweep(&[Stage::Partition, Stage::Pipeline], 2);
+    assert!(!rows.is_empty());
+    for row in &rows {
+        assert!(
+            !row.outcome.verdict.is_failure(),
+            "contract violation: stage={} plan={} seed={} verdict={:?}",
+            row.stage.name(),
+            row.plan_name,
+            row.seed,
+            row.outcome.verdict
+        );
+    }
+    // The squeeze column must actually bite (typed, never conformant):
+    // capacity 32 cannot hold these rounds.
+    assert!(
+        rows.iter()
+            .filter(|r| r.plan_name == "squeeze")
+            .all(|r| matches!(r.outcome.verdict, ChaosVerdict::TypedError(_))),
+        "squeeze plans should surface as typed errors"
+    );
+}
