@@ -222,7 +222,9 @@ mod tests {
         let ps = generators::gaussian_clusters(n, 8, 3, 3.0, 1 << 10, seed);
         let params = HybridParams::for_dataset(&ps, 4).unwrap();
         let cap = (params.total_grid_words() * 4).max(1 << 16);
-        let mut rt = Runtime::new(MpcConfig::explicit(n * 9, cap, 8).with_threads(4));
+        let mut rt = Runtime::builder()
+            .config(MpcConfig::explicit(n * 9, cap, 8).with_threads(4))
+            .build();
         let full = embed_mpc_full(&mut rt, &ps, &params, seed).unwrap();
         (ps, rt, full.embedding, full.paths)
     }

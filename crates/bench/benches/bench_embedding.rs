@@ -98,7 +98,9 @@ fn bench_mpc_embed(c: &mut Criterion) {
             let mut seed = 0;
             b.iter(|| {
                 seed += 1;
-                let mut rt = Runtime::new(MpcConfig::explicit(n * 9, cap, 8).with_threads(4));
+                let mut rt = Runtime::builder()
+                    .config(MpcConfig::explicit(n * 9, cap, 8).with_threads(4))
+                    .build();
                 embed_mpc(&mut rt, ps, &params, seed).unwrap()
             });
         });

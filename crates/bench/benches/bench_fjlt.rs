@@ -56,11 +56,13 @@ fn bench_mpc_fjlt(c: &mut Criterion) {
         let params = FjltParams::for_dataset(n, d, 0.5, 9);
         g.bench_with_input(BenchmarkId::new("fjlt_mpc", d), &ps, |b, ps| {
             b.iter(|| {
-                let mut rt = Runtime::new(
-                    MpcConfig::explicit(n * d, 1 << 18, 8)
-                        .with_threads(4)
-                        .lenient(),
-                );
+                let mut rt = Runtime::builder()
+                    .config(
+                        MpcConfig::explicit(n * d, 1 << 18, 8)
+                            .with_threads(4)
+                            .lenient(),
+                    )
+                    .build();
                 fjlt_mpc(&mut rt, ps, &params).unwrap()
             });
         });

@@ -5,7 +5,9 @@ use treeemb_mpc::primitives::{aggregate, broadcast, shuffle, sort};
 use treeemb_mpc::{MpcConfig, Runtime};
 
 fn rt(machines: usize) -> Runtime {
-    Runtime::new(MpcConfig::explicit(1 << 20, 1 << 14, machines).with_threads(4))
+    Runtime::builder()
+        .config(MpcConfig::explicit(1 << 20, 1 << 14, machines).with_threads(4))
+        .build()
 }
 
 fn bench_sort(c: &mut Criterion) {

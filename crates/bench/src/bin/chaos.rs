@@ -20,7 +20,8 @@
 //! written to disk for artifact upload); 2 on usage errors.
 
 use treeemb_bench::chaos::{
-    check_stage, report_json, shrink_failure, sweep, ChaosVerdict, Stage, SweepRow,
+    check_stage_tuned, report_json, shrink_failure, sweep_with, ChaosVerdict, Stage, SweepOptions,
+    SweepRow,
 };
 use treeemb_mpc::fault::FaultPlan;
 
@@ -35,6 +36,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: chaos [--faults plan.json] [--stage fjlt|partition|pipeline|all]\n\
          \x20            [--sweep] [--seeds N] [--data-seed N]\n\
+         \x20            [--crash-rate P] [--hetero F]\n\
          \x20            [--out report.json] [--shrunk-out plan.json]"
     );
     std::process::exit(2);
@@ -58,6 +60,14 @@ fn main() {
     let data_seed: u64 = flag_value(&args, "--data-seed")
         .map(|s| s.parse().unwrap_or_else(|_| usage()))
         .unwrap_or(0);
+    let opts = SweepOptions {
+        crash_rate: flag_value(&args, "--crash-rate")
+            .map(|s| s.parse().unwrap_or_else(|_| usage()))
+            .unwrap_or(0.0),
+        hetero: flag_value(&args, "--hetero")
+            .map(|s| s.parse().unwrap_or_else(|_| usage()))
+            .unwrap_or(0.0),
+    };
 
     let rows: Vec<SweepRow> = if let Some(path) = flag_value(&args, "--faults") {
         // Replay mode: one plan from disk against the selected stages.
@@ -72,12 +82,13 @@ fn main() {
         stages
             .iter()
             .map(|&stage| {
-                let outcome = check_stage(stage, &plan, data_seed);
+                let outcome = check_stage_tuned(stage, &plan, data_seed, opts.hetero);
                 SweepRow {
                     stage,
                     plan_name: "replay",
                     seed: data_seed,
                     plan: plan.clone(),
+                    hetero: opts.hetero,
                     outcome,
                 }
             })
@@ -86,7 +97,7 @@ fn main() {
         let seeds: u64 = flag_value(&args, "--seeds")
             .map(|s| s.parse().unwrap_or_else(|_| usage()))
             .unwrap_or(4);
-        sweep(&stages, seeds)
+        sweep_with(&stages, seeds, opts)
     } else {
         usage();
     };

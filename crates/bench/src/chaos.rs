@@ -18,7 +18,7 @@ use treeemb_fjlt::fjlt::FjltParams;
 use treeemb_fjlt::mpc::fjlt_mpc;
 use treeemb_geom::generators;
 use treeemb_mpc::fault::{shrink_plan, FaultEvent, FaultPlan, FaultRates, FaultSpec};
-use treeemb_mpc::{MpcConfig, Runtime};
+use treeemb_mpc::{FaultKind, Runtime};
 
 /// Which pipeline stage a chaos check drives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,19 +97,43 @@ fn words_for(n: usize, d: usize) -> usize {
     n * (d + 1)
 }
 
+/// Machines a stage cluster simulates.
+const STAGE_MACHINES: usize = 8;
+
+/// Per-machine capacity overrides a heterogeneity factor induces:
+/// every odd-indexed machine shrinks to `factor * capacity` words
+/// (`factor <= 0` means a homogeneous cluster). Applied identically to
+/// the fault-free reference and the faulted run, so conformance is
+/// checked *on* the heterogeneous cluster, not against a homogeneous
+/// baseline.
+fn hetero_overrides(capacity: usize, factor: f64) -> Vec<(usize, usize)> {
+    if factor <= 0.0 || factor >= 1.0 {
+        return Vec::new();
+    }
+    let small = ((capacity as f64) * factor).ceil().max(1.0) as usize;
+    (1..STAGE_MACHINES).step_by(2).map(|m| (m, small)).collect()
+}
+
 fn stage_runtime(
     n: usize,
     d: usize,
     capacity: usize,
     threads: usize,
     plan: Option<&FaultPlan>,
+    hetero: f64,
 ) -> Runtime {
-    let cfg = MpcConfig::explicit(words_for(n, d), capacity, 8).with_threads(threads);
-    let mut rt = Runtime::new(cfg);
-    if let Some(p) = plan {
-        rt.set_fault_plan(p.clone());
+    let mut builder = Runtime::builder()
+        .input_words(words_for(n, d))
+        .capacity_words(capacity)
+        .machines(STAGE_MACHINES)
+        .threads(threads);
+    for (machine, words) in hetero_overrides(capacity, hetero) {
+        builder = builder.machine_capacity(machine, words);
     }
-    rt
+    if let Some(p) = plan {
+        builder = builder.fault_plan(p.clone());
+    }
+    builder.build()
 }
 
 /// Bitwise fingerprint of a float sequence (NaN-safe, order-sensitive).
@@ -154,14 +178,29 @@ fn catching(
 /// Checks one `(stage, plan, data_seed)` triple against the conformance
 /// contract. Deterministic: same arguments, same [`ChaosOutcome`].
 pub fn check_stage(stage: Stage, plan: &FaultPlan, data_seed: u64) -> ChaosOutcome {
+    check_stage_tuned(stage, plan, data_seed, 0.0)
+}
+
+/// Like [`check_stage`], on a heterogeneous cluster: `hetero` in
+/// `(0, 1)` shrinks every odd-indexed machine to that fraction of the
+/// stage capacity (0 = homogeneous). The fault-free reference runs on
+/// the same cluster shape.
+pub fn check_stage_tuned(
+    stage: Stage,
+    plan: &FaultPlan,
+    data_seed: u64,
+    hetero: f64,
+) -> ChaosOutcome {
     let (verdict, events) = match stage {
-        Stage::Fjlt => check_fjlt(plan, data_seed),
-        Stage::Partition => check_partition(plan, data_seed),
-        Stage::Pipeline => check_pipeline(plan, data_seed),
+        Stage::Fjlt => check_fjlt(plan, data_seed, hetero),
+        Stage::Partition => check_partition(plan, data_seed, hetero),
+        Stage::Pipeline => check_pipeline(plan, data_seed, hetero),
     };
+    // Backoffs and recoveries are consequences of injected faults, not
+    // faults themselves.
     let faults = events
         .iter()
-        .filter(|e| e.kind != treeemb_mpc::FaultKind::Backoff)
+        .filter(|e| e.kind != FaultKind::Backoff && e.kind != FaultKind::Recover)
         .count();
     ChaosOutcome {
         stage,
@@ -171,15 +210,15 @@ pub fn check_stage(stage: Stage, plan: &FaultPlan, data_seed: u64) -> ChaosOutco
     }
 }
 
-fn check_fjlt(plan: &FaultPlan, data_seed: u64) -> (ChaosVerdict, Vec<FaultEvent>) {
+fn check_fjlt(plan: &FaultPlan, data_seed: u64, hetero: f64) -> (ChaosVerdict, Vec<FaultEvent>) {
     let (n, d) = (32usize, 96usize);
     let ps = generators::noisy_line(n, d, 1 << 10, 1.0, data_seed);
     let params = FjltParams::for_dataset(n, d, 0.45, data_seed ^ 0xF17);
-    let mut clean_rt = stage_runtime(n, d, 1 << 17, 2, None);
+    let mut clean_rt = stage_runtime(n, d, 1 << 17, 2, None, hetero);
     let clean = fjlt_mpc(&mut clean_rt, &ps, &params).expect("fault-free FJLT must succeed");
     let reference = bits_of((0..clean.len()).flat_map(|i| clean.point(i).iter().copied()));
     catching(|| {
-        let mut rt = stage_runtime(n, d, 1 << 17, 2, Some(plan));
+        let mut rt = stage_runtime(n, d, 1 << 17, 2, Some(plan), hetero);
         let result = fjlt_mpc(&mut rt, &ps, &params);
         let events = rt.take_fault_log();
         let verdict = match result {
@@ -194,13 +233,17 @@ fn check_fjlt(plan: &FaultPlan, data_seed: u64) -> (ChaosVerdict, Vec<FaultEvent
     })
 }
 
-fn check_partition(plan: &FaultPlan, data_seed: u64) -> (ChaosVerdict, Vec<FaultEvent>) {
+fn check_partition(
+    plan: &FaultPlan,
+    data_seed: u64,
+    hetero: f64,
+) -> (ChaosVerdict, Vec<FaultEvent>) {
     let (n, d) = (24usize, 8usize);
     let ps = generators::uniform_cube(n, d, 256, data_seed);
     let params =
         HybridParams::for_dataset_with_sep(&ps, 4, 1.0, 1e-3).expect("params must be valid");
     let embed_seed = data_seed ^ 0x7EED;
-    let mut clean_rt = stage_runtime(n, d, 1 << 15, 2, None);
+    let mut clean_rt = stage_runtime(n, d, 1 << 15, 2, None, hetero);
     let clean =
         embed_mpc(&mut clean_rt, &ps, &params, embed_seed).expect("fault-free embed must succeed");
     let all_pairs = |emb: &treeemb_core::seq::Embedding| {
@@ -214,7 +257,7 @@ fn check_partition(plan: &FaultPlan, data_seed: u64) -> (ChaosVerdict, Vec<Fault
     };
     let reference = bits_of(all_pairs(&clean).into_iter());
     catching(|| {
-        let mut rt = stage_runtime(n, d, 1 << 15, 2, Some(plan));
+        let mut rt = stage_runtime(n, d, 1 << 15, 2, Some(plan), hetero);
         let result = embed_mpc(&mut rt, &ps, &params, embed_seed);
         let events = rt.take_fault_log();
         let verdict = match result {
@@ -229,17 +272,23 @@ fn check_partition(plan: &FaultPlan, data_seed: u64) -> (ChaosVerdict, Vec<Fault
     })
 }
 
-fn check_pipeline(plan: &FaultPlan, data_seed: u64) -> (ChaosVerdict, Vec<FaultEvent>) {
+fn check_pipeline(
+    plan: &FaultPlan,
+    data_seed: u64,
+    hetero: f64,
+) -> (ChaosVerdict, Vec<FaultEvent>) {
     let n = 24usize;
     let ps = generators::uniform_cube(n, 8, 256, data_seed);
-    let cfg = PipelineConfig {
-        capacity: Some(1 << 15),
-        machines: Some(8),
-        r: Some(4),
-        threads: 2,
-        seed: data_seed ^ 0x7EED,
-        ..Default::default()
-    };
+    let mut builder = PipelineConfig::builder()
+        .capacity_words(1 << 15)
+        .machines(STAGE_MACHINES)
+        .r(4)
+        .threads(2)
+        .seed(data_seed ^ 0x7EED);
+    for (machine, words) in hetero_overrides(1 << 15, hetero) {
+        builder = builder.machine_capacity(machine, words);
+    }
+    let cfg = builder.build();
     let clean = pipeline::run(&ps, &cfg).expect("fault-free pipeline must succeed");
     let all_pairs = |emb: &treeemb_core::seq::Embedding| {
         let mut dists = Vec::with_capacity(n * (n - 1) / 2);
@@ -252,11 +301,9 @@ fn check_pipeline(plan: &FaultPlan, data_seed: u64) -> (ChaosVerdict, Vec<FaultE
     };
     let reference = bits_of(all_pairs(&clean.embedding).into_iter());
     catching(|| {
-        let faulted_cfg = PipelineConfig {
-            faults: Some(plan.clone()),
-            fault_attempts: 2,
-            ..cfg.clone()
-        };
+        let mut faulted_cfg = cfg.clone();
+        faulted_cfg.faults = Some(plan.clone());
+        faulted_cfg.fault_attempts = 2;
         let (result, events) = pipeline::run_faulted(&ps, &faulted_cfg);
         let verdict = match result {
             Err(e) => ChaosVerdict::TypedError(e.to_string()),
@@ -272,8 +319,12 @@ fn check_pipeline(plan: &FaultPlan, data_seed: u64) -> (ChaosVerdict, Vec<FaultE
 
 /// The seeded plan matrix swept per seed: light transient noise, heavy
 /// transient noise (low retry budget, so `RetriesExhausted` is
-/// reachable), and a drastic mid-run capacity squeeze (non-retryable;
-/// must surface as a typed error).
+/// reachable), a drastic mid-run capacity squeeze (non-retryable; must
+/// surface as a typed error), a deterministic first-attempt drop per
+/// round, one scheduled machine crash per early round (must recover
+/// bit-identically from the checkpoint), and a crash storm that
+/// exhausts the recovery budget (must surface as the typed retryable
+/// `RecoveryExhausted`).
 pub fn plan_matrix(seed: u64) -> Vec<(&'static str, FaultPlan)> {
     // Per-message rates scale with round fan-out: the FJLT rounds carry
     // thousands of messages, so "light" must stay well under 1 expected
@@ -285,6 +336,7 @@ pub fn plan_matrix(seed: u64) -> Vec<(&'static str, FaultPlan)> {
             unavailable: 0.002,
             straggle: 0.01,
             straggle_ns: 5_000,
+            crash: 0.0,
         })
         .with_max_retries(12);
     let heavy = FaultPlan::new(seed ^ 0xBEEF)
@@ -294,11 +346,13 @@ pub fn plan_matrix(seed: u64) -> Vec<(&'static str, FaultPlan)> {
             unavailable: 0.05,
             straggle: 0.05,
             straggle_ns: 5_000,
+            crash: 0.0,
         })
         .with_max_retries(3);
     let squeeze = FaultPlan::new(seed).with_fault(FaultSpec::Squeeze {
         from_round: 2,
         capacity_words: 32,
+        machine: None,
     });
     // One first-attempt drop per round: every stage deterministically
     // exercises the retry-then-succeed path (rounds where machine 0
@@ -313,12 +367,53 @@ pub fn plan_matrix(seed: u64) -> Vec<(&'static str, FaultPlan)> {
             msg_index: 0,
         });
     }
+    // One scheduled crash per early round, rotating over machines: every
+    // stage loses at least one shard mid-round and must recover from the
+    // checkpoint bit-identically.
+    let mut crash = FaultPlan::new(seed ^ 0xC4A5);
+    for round in 0..4 {
+        crash = crash.with_fault(FaultSpec::Crash {
+            round,
+            attempt: 0,
+            machine: round % STAGE_MACHINES,
+        });
+    }
+    // Crash machine 0 on the initial run and the single permitted
+    // re-execution of round 0: recovery exhausts, so the stage must die
+    // of the typed, retryable `RecoveryExhausted` (never a panic).
+    // Blanket the early round indices so the schedule also bites in
+    // stages whose first round indices are accounted analytically and
+    // never execute.
+    let mut crash_exhaust = FaultPlan::new(seed ^ 0xDEAD).with_max_recoveries(1);
+    for round in 0..8 {
+        for attempt in 0..2 {
+            crash_exhaust = crash_exhaust.with_fault(FaultSpec::Crash {
+                round,
+                attempt,
+                machine: 0,
+            });
+        }
+    }
     vec![
         ("light", light),
         ("heavy", heavy),
         ("squeeze", squeeze),
         ("pinpoint", pinpoint),
+        ("crash", crash),
+        ("crash-exhaust", crash_exhaust),
     ]
+}
+
+/// A rate-based crash plan (per-machine, per-execution crash
+/// probability) for `--crash-rate` sweeps; generous recovery budget so
+/// moderate rates recover rather than exhaust.
+pub fn crash_rate_plan(seed: u64, crash_rate: f64) -> FaultPlan {
+    FaultPlan::new(seed ^ 0xC7A5)
+        .with_rates(FaultRates {
+            crash: crash_rate,
+            ..FaultRates::default()
+        })
+        .with_max_recoveries(6)
 }
 
 /// One row of a sweep report.
@@ -326,29 +421,54 @@ pub fn plan_matrix(seed: u64) -> Vec<(&'static str, FaultPlan)> {
 pub struct SweepRow {
     /// Stage checked.
     pub stage: Stage,
-    /// Plan-matrix entry name (`light`/`heavy`/`squeeze`).
+    /// Plan-matrix entry name (`light`/`heavy`/`squeeze`/`crash`/…).
     pub plan_name: &'static str,
     /// Plan seed.
     pub seed: u64,
     /// The plan that ran.
     pub plan: FaultPlan,
+    /// Heterogeneity factor the stage cluster ran with (0 =
+    /// homogeneous).
+    pub hetero: f64,
     /// Check outcome.
     pub outcome: ChaosOutcome,
+}
+
+/// Tuning knobs of a sweep, beyond the seeded plan matrix.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepOptions {
+    /// When positive, adds a `crash-rate` plan column sampling machine
+    /// crashes at this probability per execution.
+    pub crash_rate: f64,
+    /// Heterogeneity factor in `(0, 1)`: odd-indexed machines shrink to
+    /// this fraction of the stage capacity (0 = homogeneous).
+    pub hetero: f64,
 }
 
 /// Sweeps the plan matrix over `seeds` seeds and every stage in
 /// `stages`. Returns every row; callers decide what a failure means.
 pub fn sweep(stages: &[Stage], seeds: u64) -> Vec<SweepRow> {
+    sweep_with(stages, seeds, SweepOptions::default())
+}
+
+/// [`sweep`] with tuning: extra crash-rate plan column and/or a
+/// heterogeneous stage cluster.
+pub fn sweep_with(stages: &[Stage], seeds: u64, opts: SweepOptions) -> Vec<SweepRow> {
     let mut rows = Vec::new();
     for &stage in stages {
         for seed in 0..seeds {
-            for (plan_name, plan) in plan_matrix(seed) {
-                let outcome = check_stage(stage, &plan, seed);
+            let mut plans = plan_matrix(seed);
+            if opts.crash_rate > 0.0 {
+                plans.push(("crash-rate", crash_rate_plan(seed, opts.crash_rate)));
+            }
+            for (plan_name, plan) in plans {
+                let outcome = check_stage_tuned(stage, &plan, seed, opts.hetero);
                 rows.push(SweepRow {
                     stage,
                     plan_name,
                     seed,
                     plan,
+                    hetero: opts.hetero,
                     outcome,
                 });
             }
@@ -361,7 +481,11 @@ pub fn sweep(stages: &[Stage], seeds: u64) -> Vec<SweepRow> {
 /// the observed fault events as an explicit schedule (if that still
 /// fails), then greedily delta-debugs whichever plan reproduces.
 pub fn shrink_failure(row: &SweepRow) -> FaultPlan {
-    let fails = |p: &FaultPlan| check_stage(row.stage, p, row.seed).verdict.is_failure();
+    let fails = |p: &FaultPlan| {
+        check_stage_tuned(row.stage, p, row.seed, row.hetero)
+            .verdict
+            .is_failure()
+    };
     let explicit = FaultPlan::from_events(
         &row.outcome.events,
         row.plan.max_retries,
@@ -389,10 +513,11 @@ pub fn report_json(rows: &[SweepRow]) -> String {
         };
         let _ = writeln!(
             out,
-            "    {{\"stage\": \"{}\", \"plan\": \"{}\", \"seed\": {}, \"verdict\": \"{}\", \"faults\": {}, \"detail\": {}}}{}",
+            "    {{\"stage\": \"{}\", \"plan\": \"{}\", \"seed\": {}, \"hetero\": {}, \"verdict\": \"{}\", \"faults\": {}, \"detail\": {}}}{}",
             row.stage.name(),
             row.plan_name,
             row.seed,
+            row.hetero,
             verdict,
             row.outcome.faults,
             json_string(&detail),
@@ -456,6 +581,7 @@ mod tests {
             plan_name: "light",
             seed: 1,
             plan: FaultPlan::new(1),
+            hetero: 0.0,
             outcome: ChaosOutcome {
                 stage: Stage::Fjlt,
                 verdict: ChaosVerdict::TypedError("x \"quoted\"\n".into()),

@@ -63,15 +63,8 @@ pub fn run(scale: Scale) -> Vec<Table> {
     );
     let d = 256;
     let ps = generators::noisy_line(n, d, 1 << 10, 1.0, 9);
-    let with_jl = run_pipeline(
-        &ps,
-        &PipelineConfig {
-            xi,
-            threads: 4,
-            ..Default::default()
-        },
-    )
-    .expect("with-JL pipeline failed");
+    let with_jl = run_pipeline(&ps, &PipelineConfig::builder().xi(xi).threads(4).build())
+        .expect("with-JL pipeline failed");
     measured.row(vec![
         "FJLT + hybrid".into(),
         with_jl.rounds.to_string(),
@@ -81,12 +74,11 @@ pub fn run(scale: Scale) -> Vec<Table> {
     ]);
     let no_jl = run_pipeline(
         &ps,
-        &PipelineConfig {
-            xi,
-            skip_jl: true,
-            threads: 4,
-            ..Default::default()
-        },
+        &PipelineConfig::builder()
+            .xi(xi)
+            .skip_jl(true)
+            .threads(4)
+            .build(),
     );
     match no_jl {
         Ok(rep) => measured.row(vec![

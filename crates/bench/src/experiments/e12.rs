@@ -17,7 +17,9 @@ pub fn run(scale: Scale) -> Vec<Table> {
     let seed = 9;
     let seq = SeqEmbedder::new(params.clone()).embed(&ps, seed).unwrap();
     let cap = (params.total_grid_words() * 4).max(1 << 15);
-    let mut rt = Runtime::new(MpcConfig::explicit(n * 9, cap, 8).with_threads(4));
+    let mut rt = Runtime::builder()
+        .config(MpcConfig::explicit(n * 9, cap, 8).with_threads(4))
+        .build();
     let par = embed_mpc(&mut rt, &ps, &params, seed).unwrap();
 
     let mut max_diff: f64 = 0.0;

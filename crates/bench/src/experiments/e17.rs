@@ -23,7 +23,9 @@ pub fn run(scale: Scale) -> Vec<Table> {
                 weight: 1.0,
             })
             .collect();
-        let mut rt = Runtime::new(MpcConfig::explicit(1 << 18, 1 << 15, 16).with_threads(4));
+        let mut rt = Runtime::builder()
+            .config(MpcConfig::explicit(1 << 18, 1 << 15, 16).with_threads(4))
+            .build();
         let dist = rt.distribute(edges).unwrap();
         let _ = root_paths(&mut rt, dist).unwrap();
         let rounds = rt.metrics().rounds();

@@ -25,11 +25,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
     let ns = scale.pick(vec![32usize, 64, 128], vec![64usize, 128, 256, 512, 1024]);
     for &n in &ns {
         let ps = generators::uniform_cube(n, 8, 1 << 8, 7 + n as u64);
-        let cfg = PipelineConfig {
-            r: Some(4),
-            threads: 4,
-            ..Default::default()
-        };
+        let cfg = PipelineConfig::builder().r(4).threads(4).build();
         let rep = run_pipeline(&ps, &cfg).expect("pipeline failed");
         t.row(vec![
             n.to_string(),
@@ -48,11 +44,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
     for &n in &ns_hd {
         let d = 512;
         let ps = generators::noisy_line(n, d, 1 << 10, 1.0, 3 + n as u64);
-        let cfg = PipelineConfig {
-            xi: 0.75,
-            threads: 4,
-            ..Default::default()
-        };
+        let cfg = PipelineConfig::builder().xi(0.75).threads(4).build();
         let rep = run_pipeline(&ps, &cfg).expect("pipeline failed");
         t.row(vec![
             n.to_string(),

@@ -39,7 +39,9 @@ pub fn run(scale: Scale) -> Vec<Table> {
             let dense = params.k * params.d_pad;
             // MPC run (capacity sized for the WHT classes + P fan-out).
             let cap = (8 * n * params.d_pad / 4).max(1 << 14);
-            let mut rt = Runtime::new(MpcConfig::explicit(n * d, cap, 8).with_threads(4).lenient());
+            let mut rt = Runtime::builder()
+                .config(MpcConfig::explicit(n * d, cap, 8).with_threads(4).lenient())
+                .build();
             let par = fjlt_mpc(&mut rt, &ps, &params).expect("mpc fjlt failed");
             let mut max_diff: f64 = 0.0;
             for i in 0..ps.len() {

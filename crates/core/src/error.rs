@@ -7,6 +7,7 @@ use treeemb_mpc::MpcError;
 /// failure" (with probability `1/poly(n)`) rather than producing a bad
 /// tree; this type is that report.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum EmbedError {
     /// A ball-partitioning grid sequence failed to cover a point within
     /// its `U` budget (Lemma 7's low-probability event).
@@ -52,6 +53,18 @@ impl fmt::Display for EmbedError {
     }
 }
 
+impl EmbedError {
+    /// Whether a fresh attempt of the whole pipeline could plausibly
+    /// succeed. Delegates to [`MpcError::is_retryable`] for MPC-layer
+    /// failures (exchange-retry or crash-recovery exhaustion under
+    /// fault injection); every algorithm-level failure is deterministic
+    /// for a fixed input/seed and will recur. This is the predicate
+    /// [`crate::pipeline::run_faulted`] gates its attempt loop on.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, EmbedError::Mpc(e) if e.is_retryable())
+    }
+}
+
 impl std::error::Error for EmbedError {}
 
 impl From<MpcError> for EmbedError {
@@ -79,5 +92,27 @@ mod tests {
     fn mpc_errors_convert() {
         let e: EmbedError = MpcError::AlgorithmFailure("x".into()).into();
         assert!(matches!(e, EmbedError::Mpc(_)));
+    }
+
+    #[test]
+    fn retryability_follows_the_mpc_layer() {
+        let transient: EmbedError = MpcError::RetriesExhausted {
+            round: 0,
+            label: "x".into(),
+            attempts: 2,
+        }
+        .into();
+        assert!(transient.is_retryable());
+        let crashed: EmbedError = MpcError::RecoveryExhausted {
+            round: 0,
+            label: "x".into(),
+            machine: 1,
+            attempts: 3,
+        }
+        .into();
+        assert!(crashed.is_retryable());
+        let algo: EmbedError = MpcError::AlgorithmFailure("x".into()).into();
+        assert!(!algo.is_retryable());
+        assert!(!EmbedError::EmptyInput.is_retryable());
     }
 }

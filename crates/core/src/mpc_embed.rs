@@ -350,7 +350,9 @@ mod tests {
     use treeemb_mpc::MpcConfig;
 
     fn runtime(cap: usize, machines: usize) -> Runtime {
-        Runtime::new(MpcConfig::explicit(1 << 16, cap, machines).with_threads(4))
+        Runtime::builder()
+            .config(MpcConfig::explicit(1 << 16, cap, machines).with_threads(4))
+            .build()
     }
 
     #[test]

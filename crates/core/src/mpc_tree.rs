@@ -85,35 +85,32 @@ pub fn root_paths(rt: &mut Runtime, edges: Dist<TreeEdge>) -> Result<Dist<RootPa
         } else {
             None
         }
-    })
-    .map_err(EmbedError::Mpc)?
+    })?
     .flatten()
-    .ok_or_else(|| EmbedError::Mpc(MpcError::AlgorithmFailure("edge list has no root".into())))?;
+    .ok_or_else(|| -> EmbedError {
+        MpcError::AlgorithmFailure("edge list has no root".into()).into()
+    })?;
 
     // Initial state: pointer = parent, accumulators = the parent edge.
-    let mut states = rt
-        .map_local(edges, |_, shard| {
-            shard
-                .into_iter()
-                .map(|e| {
-                    let is_root = e.parent == e.node;
-                    State {
-                        node: e.node,
-                        ptr: e.parent,
-                        acc_w: if is_root { 0.0 } else { e.weight },
-                        acc_d: u32::from(!is_root),
-                    }
-                })
-                .collect::<Vec<State>>()
-        })
-        .map_err(EmbedError::Mpc)?;
+    let mut states = rt.map_local(edges, |_, shard| {
+        shard
+            .into_iter()
+            .map(|e| {
+                let is_root = e.parent == e.node;
+                State {
+                    node: e.node,
+                    ptr: e.parent,
+                    acc_w: if is_root { 0.0 } else { e.weight },
+                    acc_d: u32::from(!is_root),
+                }
+            })
+            .collect::<Vec<State>>()
+    })?;
 
     let mut converged = false;
     for _ in 0..MAX_DOUBLING_STEPS {
         // Are any pointers still short of the root?
-        let pending = aggregate::max_by(rt, &states, |s| u64::from(s.ptr != root))
-            .map_err(EmbedError::Mpc)?
-            .unwrap_or(0);
+        let pending = aggregate::max_by(rt, &states, |s| u64::from(s.ptr != root))?.unwrap_or(0);
         if pending == 0 {
             converged = true;
             break;
@@ -136,13 +133,13 @@ pub fn root_paths(rt: &mut Runtime, edges: Dist<TreeEdge>) -> Result<Dist<RootPa
                 // would double past u32 before the step cap trips.
                 acc_d: l.acc_d.saturating_add(r.acc_d),
             },
-        )
-        .map_err(EmbedError::Mpc)?;
+        )?;
     }
     if !converged {
-        return Err(EmbedError::Mpc(MpcError::AlgorithmFailure(
+        return Err(MpcError::AlgorithmFailure(
             "pointer doubling did not converge (cycle in the edge list?)".into(),
-        )));
+        )
+        .into());
     }
 
     rt.map_local(states, |_, shard| {
@@ -155,7 +152,7 @@ pub fn root_paths(rt: &mut Runtime, edges: Dist<TreeEdge>) -> Result<Dist<RootPa
             })
             .collect::<Vec<RootPath>>()
     })
-    .map_err(EmbedError::Mpc)
+    .map_err(EmbedError::from)
 }
 
 #[cfg(test)]
@@ -164,7 +161,9 @@ mod tests {
     use treeemb_mpc::MpcConfig;
 
     fn runtime(machines: usize) -> Runtime {
-        Runtime::new(MpcConfig::explicit(1 << 14, 4096, machines).with_threads(4))
+        Runtime::builder()
+            .config(MpcConfig::explicit(1 << 14, 4096, machines).with_threads(4))
+            .build()
     }
 
     /// A path graph of `n` nodes: 0 <- 1 <- 2 ... (worst-case depth).

@@ -96,12 +96,11 @@ impl HybridParams {
         let targets = ps.len() * r * levels.len();
         let grids_per_bucket = coverage::grids_needed(m, targets, fail_prob);
         if grids_per_bucket > MAX_GRID_BUDGET {
-            return Err(EmbedError::Mpc(treeemb_mpc::MpcError::AlgorithmFailure(
-                format!(
-                    "grid budget {grids_per_bucket} exceeds cap: bucket dimension {m} too large \
+            return Err(treeemb_mpc::MpcError::AlgorithmFailure(format!(
+                "grid budget {grids_per_bucket} exceeds cap: bucket dimension {m} too large \
                  (reduce dimension with the FJLT or increase r)"
-                ),
-            )));
+            ))
+            .into());
         }
         Ok(Self {
             dim,

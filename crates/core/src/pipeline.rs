@@ -19,10 +19,16 @@ use treeemb_fjlt::mpc::fjlt_mpc;
 use treeemb_geom::PointSet;
 use treeemb_mpc::fault::{FaultEvent, FaultPlan};
 use treeemb_mpc::metrics::Metrics;
-use treeemb_mpc::{MpcConfig, Runtime};
+use treeemb_mpc::{CheckpointPolicy, MpcConfig, Runtime};
 
 /// Pipeline configuration.
+///
+/// Construct through [`PipelineConfig::builder`] /
+/// [`PipelineBuilder`]; the struct is `#[non_exhaustive]`, so new knobs
+/// can be added without breaking downstream code (fields stay readable
+/// and individually assignable).
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct PipelineConfig {
     /// JL distortion parameter `ξ` (the paper uses a constant).
     pub xi: f64,
@@ -48,10 +54,16 @@ pub struct PipelineConfig {
     /// testing); `None` disables injection entirely.
     pub faults: Option<FaultPlan>,
     /// Whole-pipeline attempts when a run dies of *retryable* transient
-    /// faults (see [`treeemb_mpc::MpcError::is_retryable`]); attempt `a`
+    /// faults (see [`EmbedError::is_retryable`]); attempt `a`
     /// runs under `faults.for_attempt(a)`. Non-retryable errors
     /// (capacity, coverage) return immediately. Clamped to at least 1.
     pub fault_attempts: u32,
+    /// Round-checkpoint policy for crash recovery, forwarded to the MPC
+    /// runtime (see [`CheckpointPolicy`]).
+    pub checkpoint: CheckpointPolicy,
+    /// Heterogeneous per-machine capacity overrides `(machine, words)`,
+    /// forwarded to the MPC runtime on top of the sized configuration.
+    pub machine_capacities: Vec<(usize, usize)>,
 }
 
 impl Default for PipelineConfig {
@@ -69,7 +81,127 @@ impl Default for PipelineConfig {
             skip_jl: false,
             faults: None,
             fault_attempts: 1,
+            checkpoint: CheckpointPolicy::default(),
+            machine_capacities: Vec::new(),
         }
+    }
+}
+
+impl PipelineConfig {
+    /// Starts building a pipeline configuration — the one supported
+    /// construction path.
+    pub fn builder() -> PipelineBuilder {
+        PipelineBuilder::default()
+    }
+}
+
+/// Builder for [`PipelineConfig`], mirroring
+/// [`treeemb_mpc::RuntimeBuilder`] for the pipeline-level knobs.
+///
+/// ```
+/// use treeemb_core::pipeline::PipelineConfig;
+///
+/// let cfg = PipelineConfig::builder()
+///     .capacity_words(1 << 15)
+///     .machines(8)
+///     .r(4)
+///     .threads(2)
+///     .build();
+/// assert_eq!(cfg.capacity, Some(1 << 15));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PipelineBuilder {
+    cfg: PipelineConfig,
+}
+
+impl PipelineBuilder {
+    /// JL distortion parameter `ξ`.
+    pub fn xi(mut self, xi: f64) -> Self {
+        self.cfg.xi = xi;
+        self
+    }
+
+    /// Bucket count override (`Θ(log log n)` when unset).
+    pub fn r(mut self, r: usize) -> Self {
+        self.cfg.r = Some(r);
+        self
+    }
+
+    /// Master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Minimum pairwise distance of distinct input points.
+    pub fn min_sep(mut self, min_sep: f64) -> Self {
+        self.cfg.min_sep = min_sep;
+        self
+    }
+
+    /// Coverage failure probability budget.
+    pub fn fail_prob(mut self, fail_prob: f64) -> Self {
+        self.cfg.fail_prob = fail_prob;
+        self
+    }
+
+    /// Scalability exponent `ε` used when no explicit capacity is given.
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.cfg.epsilon = epsilon;
+        self
+    }
+
+    /// Explicit per-machine capacity in words.
+    pub fn capacity_words(mut self, words: usize) -> Self {
+        self.cfg.capacity = Some(words);
+        self
+    }
+
+    /// Explicit machine count.
+    pub fn machines(mut self, machines: usize) -> Self {
+        self.cfg.machines = Some(machines);
+        self
+    }
+
+    /// Heterogeneous capacity override for one machine.
+    pub fn machine_capacity(mut self, machine: usize, words: usize) -> Self {
+        self.cfg.machine_capacities.push((machine, words));
+        self
+    }
+
+    /// Executor threads.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.cfg.threads = threads;
+        self
+    }
+
+    /// Skip the FJLT even for high-dimensional input (ablations).
+    pub fn skip_jl(mut self, skip: bool) -> Self {
+        self.cfg.skip_jl = skip;
+        self
+    }
+
+    /// Deterministic fault plan injected into the MPC runtime.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.cfg.faults = Some(plan);
+        self
+    }
+
+    /// Whole-pipeline attempts on retryable transient-fault failures.
+    pub fn fault_attempts(mut self, attempts: u32) -> Self {
+        self.cfg.fault_attempts = attempts;
+        self
+    }
+
+    /// Round-checkpoint policy for crash recovery.
+    pub fn checkpoint(mut self, policy: CheckpointPolicy) -> Self {
+        self.cfg.checkpoint = policy;
+        self
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> PipelineConfig {
+        self.cfg
     }
 }
 
@@ -143,14 +275,17 @@ pub fn run_faulted(
     let attempts = cfg.fault_attempts.max(1);
     let mut events: Vec<FaultEvent> = Vec::new();
     for attempt in 0..attempts {
-        let mut rt = Runtime::new(mpc_cfg.clone());
+        let mut builder = Runtime::builder()
+            .config(mpc_cfg.clone())
+            .checkpoint(cfg.checkpoint);
         if let Some(plan) = &cfg.faults {
-            rt.set_fault_plan(plan.for_attempt(attempt));
+            builder = builder.fault_plan(plan.for_attempt(attempt));
         }
+        let mut rt = builder.build();
         let result = run_attempt(ps, cfg, &mut rt);
         events.extend(rt.take_fault_log());
         match result {
-            Err(EmbedError::Mpc(e)) if e.is_retryable() && attempt + 1 < attempts => {
+            Err(e) if e.is_retryable() && attempt + 1 < attempts => {
                 treeemb_obs::mark(
                     "pipeline.retry",
                     &[("attempt", attempt as u64 + 1), ("of", attempts as u64)],
@@ -198,7 +333,11 @@ fn size_mpc_config(ps: &PointSet, cfg: &PipelineConfig) -> MpcConfig {
     if let (Some(m), None) = (cfg.machines, cfg.capacity) {
         mpc_cfg = mpc_cfg.with_machines(m);
     }
-    mpc_cfg.with_threads(cfg.threads)
+    mpc_cfg = mpc_cfg.with_threads(cfg.threads);
+    for &(machine, words) in &cfg.machine_capacities {
+        mpc_cfg = mpc_cfg.with_machine_capacity(machine, words);
+    }
+    mpc_cfg
 }
 
 /// One attempt of the pipeline on a fresh runtime.
@@ -306,12 +445,11 @@ mod tests {
     use treeemb_geom::{generators, metrics};
 
     fn quick_cfg() -> PipelineConfig {
-        PipelineConfig {
-            capacity: Some(1 << 15),
-            machines: Some(8),
-            r: Some(4),
-            ..Default::default()
-        }
+        PipelineConfig::builder()
+            .capacity_words(1 << 15)
+            .machines(8)
+            .r(4)
+            .build()
     }
 
     #[test]

@@ -297,9 +297,10 @@ impl SeqEmbedder {
 }
 
 /// True when `TREEEMB_EXACT_KEYS` selects the exact-key verification
-/// path (any value other than `0`).
+/// path (any value other than `0`; parsed through the single
+/// [`treeemb_mpc::config::from_env`] override layer).
 fn exact_keys_requested() -> bool {
-    std::env::var_os("TREEEMB_EXACT_KEYS").is_some_and(|v| v != "0")
+    treeemb_mpc::config::from_env().exact_keys.unwrap_or(false)
 }
 
 /// Which bucket failed to cover `p` (diagnostic for coverage errors).

@@ -207,7 +207,9 @@ mod tests {
     use treeemb_mpc::MpcConfig;
 
     fn runtime(cap: usize, machines: usize) -> Runtime {
-        Runtime::new(MpcConfig::explicit(1 << 16, cap, machines).with_threads(4))
+        Runtime::builder()
+            .config(MpcConfig::explicit(1 << 16, cap, machines).with_threads(4))
+            .build()
     }
 
     #[test]
@@ -269,11 +271,13 @@ mod tests {
         let params = FjltParams::explicit(64, 8, 0.5, 3);
         // Lenient: this test only cares about WHT round counts, and the
         // P fan-out legitimately overloads a 64-word machine.
-        let mut small = Runtime::new(
-            MpcConfig::explicit(1 << 16, 64, 64)
-                .with_threads(4)
-                .lenient(),
-        );
+        let mut small = Runtime::builder()
+            .config(
+                MpcConfig::explicit(1 << 16, 64, 64)
+                    .with_threads(4)
+                    .lenient(),
+            )
+            .build();
         let _ = fjlt_mpc(&mut small, &ps, &params).unwrap();
         let mut big = runtime(1 << 14, 64);
         let _ = fjlt_mpc(&mut big, &ps, &params).unwrap();

@@ -50,9 +50,7 @@ proptest! {
         let ps = PointSet::from_rows(&rows);
         let params = FjltParams::explicit(8, 4, 0.6, seed);
         let seq = Fjlt::new(params).apply(&ps);
-        let mut rt = Runtime::new(
-            MpcConfig::explicit(1 << 12, 1 << 12, machines).with_threads(2),
-        );
+        let mut rt = Runtime::builder().config(MpcConfig::explicit(1 << 12, 1 << 12, machines).with_threads(2)).build();
         let par = fjlt_mpc(&mut rt, &ps, &params).unwrap();
         for i in 0..ps.len() {
             for j in 0..4 {

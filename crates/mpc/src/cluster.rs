@@ -1,10 +1,10 @@
 //! The simulated cluster: distributed collections and the round
 //! primitive.
 
-use crate::config::MpcConfig;
+use crate::config::{CheckpointPolicy, MpcConfig, RuntimeBuilder};
 use crate::error::{CapacityPhase, MpcError, MpcResult};
 use crate::exec;
-use crate::fault::{FaultEvent, FaultKind, FaultPlan};
+use crate::fault::{FaultEvent, FaultKind, FaultPlan, FaultSpec};
 use crate::metrics::{Metrics, RoundStats};
 use crate::words::{self, Words};
 
@@ -105,7 +105,7 @@ struct FaultState {
 }
 
 /// The simulated MPC runtime: executes rounds, enforces capacity, and
-/// meters everything.
+/// meters everything. Constructed through [`Runtime::builder`].
 pub struct Runtime {
     cfg: MpcConfig,
     metrics: Metrics,
@@ -116,17 +116,47 @@ pub struct Runtime {
     /// Deterministic fault injection; `None` (the default) costs one
     /// never-taken branch per decision point.
     faults: Option<Box<FaultState>>,
+    /// Round-input checkpointing policy for crash recovery.
+    checkpoint: CheckpointPolicy,
 }
 
 impl Runtime {
-    /// Creates a runtime for the given configuration.
-    pub fn new(cfg: MpcConfig) -> Self {
+    /// Starts building a runtime — the one supported construction path.
+    ///
+    /// ```
+    /// use treeemb_mpc::cluster::Runtime;
+    /// let rt = Runtime::builder().machines(4).capacity_words(256).build();
+    /// assert_eq!(rt.num_machines(), 4);
+    /// ```
+    pub fn builder() -> RuntimeBuilder {
+        RuntimeBuilder::new()
+    }
+
+    /// Assembles a runtime from fully resolved parts (the builder's
+    /// terminal step).
+    pub(crate) fn assemble(
+        cfg: MpcConfig,
+        plan: Option<FaultPlan>,
+        checkpoint: CheckpointPolicy,
+    ) -> Self {
         Self {
             cfg,
             metrics: Metrics::new(),
             overlay_words: 0,
-            faults: None,
+            faults: plan.map(|plan| {
+                Box::new(FaultState {
+                    plan,
+                    log: Vec::new(),
+                })
+            }),
+            checkpoint,
         }
+    }
+
+    /// Creates a runtime for the given configuration.
+    #[deprecated(note = "construct through Runtime::builder() (optionally .config(cfg))")]
+    pub fn new(cfg: MpcConfig) -> Self {
+        Self::assemble(cfg, None, CheckpointPolicy::default())
     }
 
     /// The active configuration.
@@ -139,17 +169,45 @@ impl Runtime {
         self.cfg.num_machines
     }
 
-    /// Per-machine capacity in words, as squeezed by any active fault
-    /// plan at the current round (the configured capacity otherwise).
+    /// The active round-checkpoint policy.
+    pub fn checkpoint_policy(&self) -> CheckpointPolicy {
+        self.checkpoint
+    }
+
+    /// Minimum effective per-machine capacity across the cluster at the
+    /// current round: the smallest configured capacity (after
+    /// heterogeneous overrides), further shrunk by any capacity squeeze
+    /// an attached fault plan has in force. Capacity-driven sizing plans
+    /// against this bound.
     pub fn capacity(&self) -> usize {
-        let base = self.cfg.capacity_words;
+        let base = self.cfg.min_capacity_words();
         match &self.faults {
             None => base,
-            Some(f) => match f.plan.squeeze_at(self.metrics.rounds()) {
+            Some(f) => match f.plan.squeeze_min(self.metrics.rounds()) {
                 Some(squeezed) => squeezed.min(base),
                 None => base,
             },
         }
+    }
+
+    /// Effective capacity of one machine at the current round (its
+    /// configured capacity shrunk by applicable squeezes).
+    pub fn capacity_of(&self, machine: MachineId) -> usize {
+        let base = self.cfg.capacity_of(machine);
+        match &self.faults {
+            None => base,
+            Some(f) => match f.plan.squeeze_for(self.metrics.rounds(), machine) {
+                Some(squeezed) => squeezed.min(base),
+                None => base,
+            },
+        }
+    }
+
+    /// Effective capacities of every machine at the current round.
+    fn capacities(&self) -> Vec<usize> {
+        (0..self.cfg.num_machines)
+            .map(|i| self.capacity_of(i))
+            .collect()
     }
 
     /// Metrics accumulated so far.
@@ -166,6 +224,7 @@ impl Runtime {
     /// at every decision point; injected faults are appended to
     /// [`Runtime::fault_log`] and recorded as `fault.*` marks in the
     /// active trace.
+    #[deprecated(note = "attach at construction: Runtime::builder().fault_plan(plan)")]
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
         self.faults = Some(Box::new(FaultState {
             plan,
@@ -174,6 +233,7 @@ impl Runtime {
     }
 
     /// Detaches any fault plan (keeps metrics).
+    #[deprecated(note = "build a separate fault-free runtime instead of mutating this one")]
     pub fn clear_fault_plan(&mut self) {
         self.faults = None;
     }
@@ -195,15 +255,15 @@ impl Runtime {
             .map_or_else(Vec::new, |f| std::mem::take(&mut f.log))
     }
 
-    /// Records the active capacity squeeze (once per round index) when
-    /// a fault plan is shrinking the effective capacity. Called by every
-    /// entry point that consults [`Runtime::capacity`], so the fault log
-    /// names the squeeze no matter where the squeezed run fails.
+    /// Records the capacity squeezes an attached fault plan has in force
+    /// (once per round index). Called by every entry point that consults
+    /// capacities, so the fault log names the squeeze no matter where
+    /// the squeezed run fails. Heterogeneous *configured* capacities are
+    /// not faults and are never logged here.
     fn note_squeeze(&mut self) {
-        let cap = self.capacity();
-        if cap >= self.cfg.capacity_words {
+        let Some(plan) = self.faults.as_ref().map(|f| f.plan.clone()) else {
             return;
-        }
+        };
         let round = self.metrics.rounds();
         if self
             .fault_log()
@@ -212,14 +272,63 @@ impl Runtime {
         {
             return;
         }
-        self.record_fault(FaultEvent {
-            round,
-            attempt: 0,
-            kind: FaultKind::Squeeze,
-            machine: 0,
-            msg_index: usize::MAX,
-            value: cap as u64,
-        });
+        let mut events: Vec<FaultEvent> = Vec::new();
+        if let Some(sq) = plan.squeeze_at(round) {
+            let cap = sq.min(self.cfg.capacity_words);
+            if cap < self.cfg.capacity_words {
+                events.push(FaultEvent {
+                    round,
+                    attempt: 0,
+                    kind: FaultKind::Squeeze,
+                    machine: 0,
+                    msg_index: usize::MAX,
+                    value: cap as u64,
+                });
+            }
+        }
+        // Machine-scoped squeezes, one event per distinct machine (the
+        // `msg_index == machine` marker lets `FaultPlan::from_events`
+        // rebuild the scope).
+        let mut squeezed: Vec<usize> = plan
+            .scheduled
+            .iter()
+            .filter_map(|s| match s {
+                FaultSpec::Squeeze {
+                    from_round,
+                    machine: Some(m),
+                    ..
+                } if *from_round <= round => Some(*m),
+                _ => None,
+            })
+            .collect();
+        squeezed.sort_unstable();
+        squeezed.dedup();
+        for m in squeezed {
+            let value = plan
+                .scheduled
+                .iter()
+                .filter_map(|s| match s {
+                    FaultSpec::Squeeze {
+                        from_round,
+                        capacity_words,
+                        machine: Some(mm),
+                    } if *from_round <= round && *mm == m => Some(*capacity_words),
+                    _ => None,
+                })
+                .min()
+                .expect("machine collected from a matching spec");
+            events.push(FaultEvent {
+                round,
+                attempt: 0,
+                kind: FaultKind::Squeeze,
+                machine: m,
+                msg_index: m,
+                value: value as u64,
+            });
+        }
+        for ev in events {
+            self.record_fault(ev);
+        }
     }
 
     /// Appends an injected fault to the log and the active trace.
@@ -232,6 +341,8 @@ impl Runtime {
                 FaultKind::Unavailable => "fault.unavailable",
                 FaultKind::Backoff => "fault.backoff",
                 FaultKind::Squeeze => "fault.squeeze",
+                FaultKind::Crash => "fault.crash",
+                FaultKind::Recover => "recover.ok",
             };
             treeemb_obs::mark(
                 name,
@@ -260,41 +371,45 @@ impl Runtime {
     /// word units. Mirrors the MPC convention that the input arrives
     /// pre-distributed; it does not count as a round.
     ///
-    /// Fails if a single record exceeds capacity or the cluster's total
-    /// space cannot hold the input.
+    /// Fails if a single record exceeds every machine's capacity or the
+    /// cluster's remaining space cannot hold the input.
     pub fn distribute<T: Words + Send>(&mut self, items: Vec<T>) -> MpcResult<Dist<T>> {
         let mut sp = treeemb_obs::span!("mpc.distribute", "items" = items.len());
         self.note_squeeze();
-        let cap = self.capacity();
+        let caps = self.capacities();
+        let max_cap = caps.iter().copied().max().unwrap_or(0);
         let m = self.num_machines();
         let mut parts: Vec<Vec<T>> = (0..m).map(|_| Vec::new()).collect();
         let mut machine = 0usize;
         let mut used = 0usize;
         for item in items {
             let w = item.words();
-            if w > cap {
+            if w > max_cap {
                 return Err(MpcError::CapacityExceeded {
                     machine,
                     round: self.metrics.rounds(),
                     phase: CapacityPhase::Input,
                     words: w,
-                    capacity: cap,
+                    capacity: max_cap,
                     label: "distribute".into(),
                 });
             }
-            if used + w > cap {
+            // Greedy fill; a record that does not fit the current
+            // machine moves to the next (skipping machines it exceeds
+            // outright, which only happens on heterogeneous clusters).
+            while machine < m && used + w > caps[machine] {
                 machine += 1;
                 used = 0;
-                if machine >= m {
-                    return Err(MpcError::CapacityExceeded {
-                        machine: m - 1,
-                        round: self.metrics.rounds(),
-                        phase: CapacityPhase::Input,
-                        words: cap + w,
-                        capacity: cap,
-                        label: "distribute (cluster full)".into(),
-                    });
-                }
+            }
+            if machine >= m {
+                return Err(MpcError::CapacityExceeded {
+                    machine: m - 1,
+                    round: self.metrics.rounds(),
+                    phase: CapacityPhase::Input,
+                    words: caps[m - 1] + w,
+                    capacity: caps[m - 1],
+                    label: "distribute (cluster full)".into(),
+                });
             }
             used += w;
             parts[machine].push(item);
@@ -313,15 +428,25 @@ impl Runtime {
     /// shard in the output collection is its kept records followed by
     /// received records in source-machine order (deterministic).
     ///
-    /// Capacity checks (strict mode): input ≤ s, sent ≤ s, received ≤ s,
-    /// kept + received ≤ s.
+    /// Capacity checks (strict mode), per machine against its effective
+    /// capacity: input ≤ s, sent ≤ s, received ≤ s, kept + received ≤ s.
+    ///
+    /// **Crash recovery.** When the checkpoint policy is active (see
+    /// [`CheckpointPolicy`]) the round's input is snapshotted before
+    /// execution, word-metered against total space. A machine that
+    /// crashes (loses its shard; [`FaultSpec::Crash`] or the plan's
+    /// crash rate) is re-executed from the snapshot — determinism makes
+    /// the replay bit-identical — up to the plan's `max_recoveries`
+    /// budget; each restore is logged as a [`FaultKind::Recover`] event
+    /// and counted in [`RoundStats::recoveries`]. A machine that crashes
+    /// through the whole budget fails the round with the typed,
+    /// retryable [`MpcError::RecoveryExhausted`].
     pub fn round<T, U, F>(&mut self, label: &str, input: Dist<T>, f: F) -> MpcResult<Dist<U>>
     where
-        T: Words + Send,
+        T: Words + Send + Clone,
         U: Words + Send,
         F: Fn(MachineId, Vec<T>, &mut Emitter<U>) -> Vec<U> + Sync,
     {
-        let cap = self.capacity();
         let m = self.num_machines();
         assert_eq!(
             input.num_machines(),
@@ -341,6 +466,7 @@ impl Runtime {
         let plan: Option<FaultPlan> = self.faults.as_ref().map(|f| f.plan.clone());
         let log_mark = self.faults.as_ref().map_or(0, |f| f.log.len());
         self.note_squeeze();
+        let caps = self.capacities();
         let straggle: Vec<u64> = match &plan {
             Some(p) => (0..m).map(|i| p.straggle_ns(round_idx, i)).collect(),
             None => Vec::new(),
@@ -362,7 +488,7 @@ impl Runtime {
         let mut worst_input: Option<(usize, usize)> = None;
         for (i, p) in input.parts().iter().enumerate() {
             let w = words::of_slice(p);
-            if w > cap && worst_input.is_none_or(|(_, ww)| w > ww) {
+            if w > caps[i] && worst_input.is_none_or(|(_, ww)| w > ww) {
                 worst_input = Some((i, w));
             }
         }
@@ -373,29 +499,132 @@ impl Runtime {
                     round: round_idx,
                     phase: CapacityPhase::Input,
                     words: w,
-                    capacity: cap,
+                    capacity: caps[i],
                     label: label.into(),
                 });
             }
             violations += 1;
         }
 
-        // Phase 2: run machines concurrently.
+        // Phase 1b: checkpoint + crash planning. With checkpointing
+        // active the round input is (conceptually) snapshotted in full
+        // and metered against total space; only crashed machines'
+        // shards are actually cloned below. Crash decisions are pure
+        // functions of the plan, so the whole recovery schedule can be
+        // resolved up front: machine `i` crashes on executions
+        // `0..crashes[i]` and completes on execution `crashes[i]`.
+        let checkpoint_active = match self.checkpoint {
+            CheckpointPolicy::Disabled => false,
+            CheckpointPolicy::Always => true,
+            CheckpointPolicy::Auto => plan.as_ref().is_some_and(|p| p.can_crash()),
+        };
+        let checkpoint_words = if checkpoint_active {
+            input.total_words()
+        } else {
+            0
+        };
+        let mut crashes: Vec<u32> = vec![0; m];
+        if let Some(p) = plan.as_ref().filter(|p| p.can_crash()) {
+            for (machine, crash_count) in crashes.iter_mut().enumerate() {
+                let mut k = 0u32;
+                while k <= p.max_recoveries && p.crashed(round_idx, k, machine) {
+                    k += 1;
+                }
+                if k == 0 {
+                    continue;
+                }
+                // Without a checkpoint there is nothing to re-execute
+                // from: the first crash is final.
+                let crashed_execs = if checkpoint_active { k } else { 1 };
+                for attempt in 0..crashed_execs {
+                    self.record_fault(FaultEvent {
+                        round: round_idx,
+                        attempt,
+                        kind: FaultKind::Crash,
+                        machine,
+                        msg_index: usize::MAX,
+                        value: 0,
+                    });
+                }
+                if !checkpoint_active || k > p.max_recoveries {
+                    if treeemb_obs::enabled() {
+                        treeemb_obs::mark(
+                            "recover.exhausted",
+                            &[
+                                ("round", round_idx as u64),
+                                ("machine", machine as u64),
+                                ("attempts", crashed_execs as u64),
+                            ],
+                        );
+                    }
+                    return Err(MpcError::RecoveryExhausted {
+                        round: round_idx,
+                        label: label.into(),
+                        machine,
+                        attempts: crashed_execs,
+                    });
+                }
+                self.record_fault(FaultEvent {
+                    round: round_idx,
+                    attempt: k,
+                    kind: FaultKind::Recover,
+                    machine,
+                    msg_index: usize::MAX,
+                    value: words::of_slice(input.part(machine)) as u64,
+                });
+                *crash_count = k;
+            }
+        }
+        let recoveries: u32 = crashes.iter().sum();
+
+        // Phase 2: run machines concurrently. A crashed machine really
+        // executes `f` once per lost attempt (the work is discarded,
+        // modeling lost compute) and once more from the checkpoint
+        // snapshot for its surviving output.
         struct MachineOut<U> {
             kept: Vec<U>,
             msgs: Vec<(MachineId, U)>,
             out_words: usize,
         }
         let straggle_ref = &straggle;
+        let crashes_ref = &crashes;
+        let work: Vec<(Vec<T>, Option<Vec<T>>)> = input
+            .into_parts()
+            .into_iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                let snap = (crashes_ref[i] > 0).then(|| shard.clone());
+                (shard, snap)
+            })
+            .collect();
         let outputs: Vec<MachineOut<U>> =
-            exec::par_map_indexed(input.into_parts(), self.cfg.threads, |i, shard| {
+            exec::par_map_indexed(work, self.cfg.threads, |i, (shard, snap)| {
                 if let Some(&delay_ns) = straggle_ref.get(i) {
                     if delay_ns > 0 {
                         std::thread::sleep(std::time::Duration::from_nanos(delay_ns));
                     }
                 }
+                let k = crashes_ref[i];
+                if k == 0 {
+                    let mut em = Emitter::new();
+                    let kept = f(i, shard, &mut em);
+                    return MachineOut {
+                        kept,
+                        msgs: em.msgs,
+                        out_words: em.out_words,
+                    };
+                }
+                let snap = snap.expect("snapshot exists for crashed machines");
+                {
+                    let mut scratch = Emitter::new();
+                    let _ = f(i, shard, &mut scratch);
+                }
+                for _ in 1..k {
+                    let mut scratch = Emitter::new();
+                    let _ = f(i, snap.clone(), &mut scratch);
+                }
                 let mut em = Emitter::new();
-                let kept = f(i, shard, &mut em);
+                let kept = f(i, snap, &mut em);
                 MachineOut {
                     kept,
                     msgs: em.msgs,
@@ -481,14 +710,14 @@ impl Runtime {
         let mut in_words = vec![0usize; m];
         let mut routed: Vec<Vec<(MachineId, U)>> = Vec::with_capacity(m);
         for (src, out) in outputs.iter().enumerate() {
-            if out.out_words > cap {
+            if out.out_words > caps[src] {
                 if strict {
                     return Err(MpcError::CapacityExceeded {
                         machine: src,
                         round: round_idx,
                         phase: CapacityPhase::Send,
                         words: out.out_words,
-                        capacity: cap,
+                        capacity: caps[src],
                         label: label.into(),
                     });
                 }
@@ -509,14 +738,14 @@ impl Runtime {
         }
         let max_in = in_words.iter().copied().max().unwrap_or(0);
         for (dest, &w) in in_words.iter().enumerate() {
-            if w > cap {
+            if w > caps[dest] {
                 if strict {
                     return Err(MpcError::CapacityExceeded {
                         machine: dest,
                         round: round_idx,
                         phase: CapacityPhase::Receive,
                         words: w,
-                        capacity: cap,
+                        capacity: caps[dest],
                         label: label.into(),
                     });
                 }
@@ -545,14 +774,14 @@ impl Runtime {
             shard.extend(routed[i].drain(..).map(|(_, rec)| rec));
             let resident = kept_words[i] + in_words[i] + self.overlay_words;
             max_resident = max_resident.max(resident);
-            if resident > cap {
+            if resident > caps[i] {
                 if strict {
                     return Err(MpcError::CapacityExceeded {
                         machine: i,
                         round: round_idx,
                         phase: CapacityPhase::Residency,
                         words: resident,
-                        capacity: cap,
+                        capacity: caps[i],
                         label: label.into(),
                     });
                 }
@@ -565,6 +794,9 @@ impl Runtime {
         sp.arg("max_out_words", max_out as u64);
         sp.arg("max_in_words", max_in as u64);
         sp.arg("max_resident_words", max_resident as u64);
+        if recoveries > 0 {
+            sp.arg("recoveries", recoveries as u64);
+        }
         self.metrics.record_round(RoundStats {
             round: round_idx,
             label: label.into(),
@@ -577,10 +809,14 @@ impl Runtime {
             t_end_ns: treeemb_obs::now_ns(),
             attempts,
             faults: self.faults.as_ref().map_or(0, |f| f.log.len() - log_mark),
+            recoveries,
+            checkpoint_words,
         });
         let dist = Dist::from_parts(parts);
+        // The checkpoint coexists with the round's live data until the
+        // round commits, so it counts against total space.
         self.metrics
-            .record_total_resident(dist.total_words() + self.overlay_words * m);
+            .record_total_resident(dist.total_words() + checkpoint_words + self.overlay_words * m);
         Ok(dist)
     }
 
@@ -596,20 +832,20 @@ impl Runtime {
     {
         let mut sp = treeemb_obs::span!("mpc.map_local", "items" = input.total_len());
         self.note_squeeze();
-        let cap = self.capacity();
+        let caps = self.capacities();
         let parts = exec::par_map_indexed(input.into_parts(), self.cfg.threads, f);
         let dist = Dist::from_parts(parts);
         sp.arg("out_words", dist.total_words() as u64);
         if self.cfg.strict {
             for (i, p) in dist.parts().iter().enumerate() {
                 let w = words::of_slice(p);
-                if w > cap {
+                if w > caps[i] {
                     return Err(MpcError::CapacityExceeded {
                         machine: i,
                         round: self.metrics.rounds(),
                         phase: CapacityPhase::Residency,
                         words: w,
-                        capacity: cap,
+                        capacity: caps[i],
                         label: "map_local".into(),
                     });
                 }
@@ -634,7 +870,9 @@ impl Runtime {
     /// collectives that would otherwise replicate identical payloads
     /// across every simulated machine (e.g. grid broadcasts), where
     /// materialization adds memory pressure but no fidelity — the round
-    /// count, load metering, and capacity checks are identical.
+    /// count, load metering, and capacity checks are identical. Loads
+    /// are checked against the cluster-minimum capacity (conservative on
+    /// heterogeneous clusters: the stated loads are per-machine maxima).
     ///
     /// Fails (strict mode) if any stated load exceeds capacity.
     pub fn record_accounted_round(
@@ -692,6 +930,8 @@ impl Runtime {
             t_end_ns: now,
             attempts: 1,
             faults: 0,
+            recoveries: 0,
+            checkpoint_words: 0,
         });
         Ok(())
     }
@@ -726,7 +966,12 @@ mod tests {
     use super::*;
 
     fn small_rt(cap: usize, machines: usize) -> Runtime {
-        Runtime::new(MpcConfig::explicit(64, cap, machines).with_threads(4))
+        Runtime::builder()
+            .input_words(64)
+            .capacity_words(cap)
+            .machines(machines)
+            .threads(4)
+            .build()
     }
 
     #[test]
@@ -746,6 +991,20 @@ mod tests {
         let mut rt = small_rt(4, 2);
         let err = rt.distribute((0..100u64).collect()).unwrap_err();
         assert!(matches!(err, MpcError::CapacityExceeded { .. }));
+    }
+
+    #[test]
+    fn distribute_respects_heterogeneous_capacities() {
+        let mut rt = Runtime::builder()
+            .capacity_words(8)
+            .machines(3)
+            .machine_capacity(0, 2)
+            .threads(2)
+            .build();
+        let dist = rt.distribute((0..12u64).collect()).unwrap();
+        assert_eq!(dist.part(0).len(), 2, "machine 0 holds only 2 words");
+        assert_eq!(dist.part(1).len(), 8);
+        assert_eq!(dist.part(2).len(), 2);
     }
 
     #[test]
@@ -834,9 +1093,39 @@ mod tests {
     }
 
     #[test]
+    fn hetero_round_checks_each_machine_against_its_own_capacity() {
+        // Machine 1 has a quarter of the default capacity; routing more
+        // than that to it must fail even though the cluster default
+        // would allow it.
+        let mut rt = Runtime::builder()
+            .capacity_words(32)
+            .machines(2)
+            .machine_capacity(1, 4)
+            .threads(2)
+            .build();
+        let dist = rt.distribute((0..8u64).collect()).unwrap();
+        let err = rt
+            .round("overflow-small", dist, |_, shard, em| {
+                for v in shard {
+                    em.send(1, v);
+                }
+                Vec::new()
+            })
+            .unwrap_err();
+        assert!(
+            matches!(err, MpcError::CapacityExceeded { machine: 1, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
     fn lenient_mode_meters_instead_of_failing() {
-        let cfg = MpcConfig::explicit(64, 8, 4).lenient();
-        let mut rt = Runtime::new(cfg);
+        let mut rt = Runtime::builder()
+            .input_words(64)
+            .capacity_words(8)
+            .machines(4)
+            .lenient()
+            .build();
         let dist = rt.distribute((0..24u64).collect()).unwrap();
         let out = rt
             .round("hotspot", dist, |_, shard, em| {
@@ -852,8 +1141,12 @@ mod tests {
 
     #[test]
     fn bad_destination_is_an_error_even_lenient() {
-        let cfg = MpcConfig::explicit(64, 8, 2).lenient();
-        let mut rt = Runtime::new(cfg);
+        let mut rt = Runtime::builder()
+            .input_words(64)
+            .capacity_words(8)
+            .machines(2)
+            .lenient()
+            .build();
         let dist = rt.distribute(vec![1u64]).unwrap();
         let err = rt
             .round("oops", dist, |_, shard, em| {
@@ -890,6 +1183,154 @@ mod tests {
             })
             .unwrap();
         assert_eq!(rt.metrics().peak_machine_words(), 32);
+    }
+
+    fn route_round(rt: &mut Runtime, values: Vec<u64>) -> MpcResult<Vec<u64>> {
+        let m = rt.num_machines() as u64;
+        let dist = rt.distribute(values)?;
+        let out = rt.round("route", dist, move |_, shard, em| {
+            for v in shard {
+                em.send((v % m) as usize, v.wrapping_mul(3));
+            }
+            Vec::new()
+        })?;
+        Ok(rt.gather(out))
+    }
+
+    #[test]
+    fn crashed_machine_recovers_bit_identical() {
+        let values: Vec<u64> = (0..16).collect();
+        let mut clean = small_rt(64, 4);
+        let expected = route_round(&mut clean, values.clone()).unwrap();
+
+        // Machine 0 holds the whole greedily-packed input, so its crash
+        // loses real data.
+        let plan = FaultPlan::new(9).with_fault(FaultSpec::Crash {
+            round: 0,
+            attempt: 0,
+            machine: 0,
+        });
+        let mut rt = Runtime::builder()
+            .input_words(64)
+            .capacity_words(64)
+            .machines(4)
+            .threads(4)
+            .fault_plan(plan)
+            .build();
+        let got = route_round(&mut rt, values).unwrap();
+        assert_eq!(got, expected, "recovery must replay bit-identically");
+        let stats = &rt.metrics().round_stats()[0];
+        assert_eq!(stats.recoveries, 1);
+        assert!(
+            stats.checkpoint_words > 0,
+            "Auto policy checkpoints when the plan can crash"
+        );
+        assert_eq!(rt.metrics().recoveries(), 1);
+        assert!(rt.metrics().peak_checkpoint_words() > 0);
+        let kinds: Vec<FaultKind> = rt.fault_log().iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&FaultKind::Crash));
+        assert!(kinds.contains(&FaultKind::Recover));
+        let recover = rt
+            .fault_log()
+            .iter()
+            .find(|e| e.kind == FaultKind::Recover)
+            .unwrap();
+        assert_eq!(recover.machine, 0);
+        assert_eq!(recover.attempt, 1, "restored on the first re-execution");
+        assert!(recover.value > 0, "recover event carries restored words");
+    }
+
+    #[test]
+    fn recovery_exhaustion_is_a_typed_retryable_error() {
+        // Crash machine 2 on the initial run and both permitted
+        // re-executions: the budget (max_recoveries = 2) is exhausted.
+        let mut plan = FaultPlan::new(1).with_max_recoveries(2);
+        for attempt in 0..3 {
+            plan = plan.with_fault(FaultSpec::Crash {
+                round: 0,
+                attempt,
+                machine: 2,
+            });
+        }
+        let mut rt = Runtime::builder()
+            .input_words(64)
+            .capacity_words(64)
+            .machines(4)
+            .threads(2)
+            .fault_plan(plan)
+            .build();
+        let err = route_round(&mut rt, (0..16).collect()).unwrap_err();
+        match &err {
+            MpcError::RecoveryExhausted {
+                round,
+                machine,
+                attempts,
+                ..
+            } => {
+                assert_eq!(*round, 0);
+                assert_eq!(*machine, 2);
+                assert_eq!(*attempts, 3);
+            }
+            other => panic!("expected RecoveryExhausted, got {other}"),
+        }
+        assert!(err.is_retryable());
+        assert_eq!(
+            rt.fault_log()
+                .iter()
+                .filter(|e| e.kind == FaultKind::Crash)
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn disabled_checkpointing_makes_any_crash_fatal() {
+        let plan = FaultPlan::new(5).with_fault(FaultSpec::Crash {
+            round: 0,
+            attempt: 0,
+            machine: 0,
+        });
+        let mut rt = Runtime::builder()
+            .input_words(64)
+            .capacity_words(64)
+            .machines(2)
+            .threads(2)
+            .fault_plan(plan)
+            .checkpoint(CheckpointPolicy::Disabled)
+            .build();
+        let err = route_round(&mut rt, (0..8).collect()).unwrap_err();
+        assert!(
+            matches!(err, MpcError::RecoveryExhausted { attempts: 1, .. }),
+            "{err}"
+        );
+        assert!(err.is_retryable());
+    }
+
+    #[test]
+    fn always_checkpointing_meters_even_without_faults() {
+        let mut rt = Runtime::builder()
+            .input_words(64)
+            .capacity_words(64)
+            .machines(2)
+            .threads(2)
+            .checkpoint(CheckpointPolicy::Always)
+            .build();
+        let _ = route_round(&mut rt, (0..8).collect()).unwrap();
+        let stats = &rt.metrics().round_stats()[0];
+        assert_eq!(stats.checkpoint_words, 8);
+        assert_eq!(stats.recoveries, 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        let mut rt = Runtime::new(MpcConfig::explicit(64, 16, 2).with_threads(2));
+        rt.set_fault_plan(FaultPlan::new(3));
+        assert!(rt.fault_plan().is_some());
+        rt.clear_fault_plan();
+        assert!(rt.fault_plan().is_none());
+        let dist = rt.distribute(vec![1u64, 2, 3]).unwrap();
+        assert_eq!(rt.gather(dist), vec![1, 2, 3]);
     }
 
     #[test]

@@ -36,6 +36,7 @@ impl fmt::Display for CapacityPhase {
 
 /// Errors surfaced by the simulated MPC runtime.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum MpcError {
     /// A machine exceeded its local capacity.
     CapacityExceeded {
@@ -76,15 +77,34 @@ pub enum MpcError {
         /// Exchange attempts made (`max_retries + 1`).
         attempts: u32,
     },
+    /// A machine crashed on its initial execution of a round *and* on
+    /// every checkpoint re-execution the fault plan's recovery budget
+    /// allowed (or checkpointing was disabled), so the lost partition
+    /// could not be recomputed. Only produced under fault injection;
+    /// retryable at the pipeline level.
+    RecoveryExhausted {
+        /// Round index (0-based) whose compute kept crashing.
+        round: usize,
+        /// Human-readable label of the round.
+        label: String,
+        /// The machine whose shard could not be recovered.
+        machine: usize,
+        /// Executions that crashed (initial run plus re-executions).
+        attempts: u32,
+    },
 }
 
 impl MpcError {
     /// Whether a fresh attempt of the whole computation could plausibly
-    /// succeed: true only for transient-fault exhaustion. Capacity
-    /// violations, bad destinations, and algorithm failures are
-    /// deterministic for a fixed input/seed and will recur.
+    /// succeed: true only for transient-fault exhaustion (exchange
+    /// retries or crash recoveries). Capacity violations, bad
+    /// destinations, and algorithm failures are deterministic for a
+    /// fixed input/seed and will recur.
     pub fn is_retryable(&self) -> bool {
-        matches!(self, MpcError::RetriesExhausted { .. })
+        matches!(
+            self,
+            MpcError::RetriesExhausted { .. } | MpcError::RecoveryExhausted { .. }
+        )
     }
 }
 
@@ -123,6 +143,17 @@ impl fmt::Display for MpcError {
                 write!(
                     f,
                     "round {round} ({label}) failed all {attempts} exchange attempts under injected faults"
+                )
+            }
+            MpcError::RecoveryExhausted {
+                round,
+                label,
+                machine,
+                attempts,
+            } => {
+                write!(
+                    f,
+                    "machine {machine} crashed on all {attempts} executions of round {round} ({label}); checkpoint recovery exhausted"
                 )
             }
         }
@@ -166,6 +197,15 @@ mod tests {
         assert!(transient.is_retryable());
         assert!(transient.to_string().contains("round 2"));
         assert!(transient.to_string().contains("4 exchange attempts"));
+        let crashed = MpcError::RecoveryExhausted {
+            round: 5,
+            label: "embed:assign".into(),
+            machine: 3,
+            attempts: 4,
+        };
+        assert!(crashed.is_retryable());
+        assert!(crashed.to_string().contains("machine 3"));
+        assert!(crashed.to_string().contains("round 5"));
         let capacity = MpcError::CapacityExceeded {
             machine: 0,
             round: 0,

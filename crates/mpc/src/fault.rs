@@ -4,7 +4,10 @@
 //! is a seeded, serializable schedule of faults — per-round machine
 //! slowdown (stragglers), message drop/duplication on the exchange
 //! path, transient machine unavailability with bounded retry/backoff,
-//! and capacity squeezes that shrink `s` mid-run. The runtime consults
+//! machine crashes that lose a shard mid-round (recovered from the
+//! round checkpoint, see `DESIGN.md`), and capacity squeezes —
+//! cluster-wide or per machine — that shrink `s` mid-run. The runtime
+//! consults
 //! the plan at fixed points of [`crate::cluster::Runtime::round`]; every
 //! decision is a pure function of `(plan seed, round, attempt, machine,
 //! message index)`, so a fixed plan reproduces the identical fault
@@ -24,7 +27,13 @@
 //! shrink the effective `s` from a given round onward, and loads that
 //! no longer fit surface as the usual typed capacity errors
 //! ([`MpcError::CapacityExceeded`](crate::error::MpcError)), mirroring
-//! Theorem 1's "report failure" contract.
+//! Theorem 1's "report failure" contract. Crashes lose a machine's
+//! *state*, not just an exchange attempt: the runtime re-executes the
+//! lost partition from its round-input checkpoint (deterministic
+//! closures make the re-execution bit-identical), and a machine that
+//! crashes through the whole per-round recovery budget surfaces as the
+//! typed, retryable
+//! [`MpcError::RecoveryExhausted`](crate::error::MpcError).
 //!
 //! Plans round-trip through a small hand-rolled JSON codec
 //! ([`FaultPlan::to_json`] / [`FaultPlan::from_json`]; the workspace
@@ -40,6 +49,7 @@ const TAG_DROP: u64 = 0xD809;
 const TAG_DUP: u64 = 0xD7B1;
 const TAG_UNAVAILABLE: u64 = 0x0FF1;
 const TAG_STRAGGLE: u64 = 0x51C0;
+const TAG_CRASH: u64 = 0xC4A5;
 
 /// Seeded probabilistic fault rates, applied independently per decision
 /// point through the plan's hash stream. All probabilities are clamped
@@ -60,12 +70,20 @@ pub struct FaultRates {
     pub straggle: f64,
     /// Injected delay when a rate-based straggle fires, nanoseconds.
     pub straggle_ns: u64,
+    /// Probability a machine crashes and loses its shard during an
+    /// execution of a round (per machine, per execution attempt; see
+    /// [`FaultPlan::crashed`]).
+    pub crash: f64,
 }
 
 impl FaultRates {
     /// True when every rate is zero (no probabilistic injection).
     pub fn is_zero(&self) -> bool {
-        self.drop <= 0.0 && self.duplicate <= 0.0 && self.unavailable <= 0.0 && self.straggle <= 0.0
+        self.drop <= 0.0
+            && self.duplicate <= 0.0
+            && self.unavailable <= 0.0
+            && self.straggle <= 0.0
+            && self.crash <= 0.0
     }
 }
 
@@ -117,12 +135,29 @@ pub enum FaultSpec {
     },
     /// From round `from_round` onward the effective per-machine
     /// capacity shrinks to `capacity_words` (never grows; multiple
-    /// squeezes take the minimum). Non-retryable.
+    /// squeezes take the minimum). Non-retryable. With `machine: Some`
+    /// only that machine is squeezed (heterogeneous capacity); `None`
+    /// squeezes the whole cluster.
     Squeeze {
         /// First affected round.
         from_round: usize,
         /// New effective capacity in words.
         capacity_words: usize,
+        /// Affected machine; `None` = every machine.
+        machine: Option<usize>,
+    },
+    /// Machine `machine` crashes and loses its shard during execution
+    /// attempt `attempt` of round `round` (attempt 0 is the initial
+    /// execution; attempt `k > 0` is the `k`-th re-execution from the
+    /// round checkpoint). Recovered by checkpoint restore, bounded by
+    /// [`FaultPlan::max_recoveries`].
+    Crash {
+        /// Affected round.
+        round: usize,
+        /// Execution attempt within the round (0 = initial run).
+        attempt: u32,
+        /// Crashing machine.
+        machine: usize,
     },
 }
 
@@ -141,6 +176,11 @@ pub enum FaultKind {
     Backoff,
     /// A capacity squeeze was in force for a round.
     Squeeze,
+    /// A machine crashed and lost its shard during round compute.
+    Crash,
+    /// A crashed machine's shard was restored from the round checkpoint
+    /// and re-executed (a consequence of a crash, not a cause).
+    Recover,
 }
 
 impl fmt::Display for FaultKind {
@@ -152,6 +192,8 @@ impl fmt::Display for FaultKind {
             FaultKind::Unavailable => "unavailable",
             FaultKind::Backoff => "backoff",
             FaultKind::Squeeze => "squeeze",
+            FaultKind::Crash => "crash",
+            FaultKind::Recover => "recover",
         };
         f.write_str(s)
     }
@@ -171,17 +213,20 @@ pub struct FaultEvent {
     pub kind: FaultKind,
     /// Affected machine (source machine for message faults).
     pub machine: usize,
-    /// Message index for drop/duplicate faults; `usize::MAX` otherwise.
+    /// Message index for drop/duplicate faults. For squeeze events the
+    /// field doubles as the scope marker: `usize::MAX` = cluster-wide,
+    /// otherwise the squeezed machine. `usize::MAX` for all other kinds.
     pub msg_index: usize,
     /// Kind-specific value: delay (ns) for straggle/backoff, effective
-    /// capacity (words) for squeeze, 0 otherwise.
+    /// capacity (words) for squeeze, restored words for recover,
+    /// 0 otherwise.
     pub value: u64,
 }
 
 /// A seeded, serializable fault schedule.
 ///
-/// Attach to a runtime with
-/// [`Runtime::set_fault_plan`](crate::cluster::Runtime::set_fault_plan).
+/// Attach to a runtime at construction with
+/// [`RuntimeBuilder::fault_plan`](crate::config::RuntimeBuilder::fault_plan).
 /// The default plan injects nothing.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
@@ -191,6 +236,11 @@ pub struct FaultPlan {
     /// faults that persist through `max_retries + 1` attempts surface
     /// as [`MpcError::RetriesExhausted`](crate::error::MpcError).
     pub max_retries: u32,
+    /// Checkpoint restores a machine may consume per round; a machine
+    /// that crashes on the initial execution *and* on `max_recoveries`
+    /// re-executions surfaces as
+    /// [`MpcError::RecoveryExhausted`](crate::error::MpcError).
+    pub max_recoveries: u32,
     /// Base simulated backoff before retry `k` (recorded as
     /// `backoff_ns << k`, capped at 20 doublings; the simulation records
     /// rather than sleeps it).
@@ -206,6 +256,7 @@ impl Default for FaultPlan {
         Self {
             seed: 0,
             max_retries: 3,
+            max_recoveries: 3,
             backoff_ns: 1_000_000,
             rates: FaultRates::default(),
             scheduled: Vec::new(),
@@ -234,6 +285,13 @@ impl FaultPlan {
         self
     }
 
+    /// Builder: sets the per-round, per-machine checkpoint-restore
+    /// budget for crash recovery.
+    pub fn with_max_recoveries(mut self, max_recoveries: u32) -> Self {
+        self.max_recoveries = max_recoveries;
+        self
+    }
+
     /// Builder: appends a scheduled fault.
     pub fn with_fault(mut self, spec: FaultSpec) -> Self {
         self.scheduled.push(spec);
@@ -243,6 +301,18 @@ impl FaultPlan {
     /// True when the plan can never inject anything.
     pub fn is_empty(&self) -> bool {
         self.rates.is_zero() && self.scheduled.is_empty()
+    }
+
+    /// True when the plan can crash a machine (rate-sampled or
+    /// scheduled) — the condition under which
+    /// [`CheckpointPolicy::Auto`](crate::config::CheckpointPolicy)
+    /// snapshots round inputs.
+    pub fn can_crash(&self) -> bool {
+        self.rates.crash > 0.0
+            || self
+                .scheduled
+                .iter()
+                .any(|s| matches!(s, FaultSpec::Crash { .. }))
     }
 
     /// Derives the plan for pipeline-level retry attempt `attempt`:
@@ -289,9 +359,17 @@ impl FaultPlan {
                 FaultKind::Squeeze => FaultSpec::Squeeze {
                     from_round: e.round,
                     capacity_words: e.value as usize,
+                    // msg_index doubles as the scope marker: MAX =
+                    // cluster-wide, otherwise the squeezed machine.
+                    machine: (e.msg_index != usize::MAX).then_some(e.machine),
                 },
-                // Backoffs are consequences, not causes.
-                FaultKind::Backoff => continue,
+                FaultKind::Crash => FaultSpec::Crash {
+                    round: e.round,
+                    attempt: e.attempt,
+                    machine: e.machine,
+                },
+                // Backoffs and recoveries are consequences, not causes.
+                FaultKind::Backoff | FaultKind::Recover => continue,
             };
             if !scheduled.contains(&spec) {
                 scheduled.push(spec);
@@ -303,6 +381,7 @@ impl FaultPlan {
             backoff_ns,
             rates: FaultRates::default(),
             scheduled,
+            ..FaultPlan::default()
         }
     }
 
@@ -426,8 +505,10 @@ impl FaultPlan {
         None
     }
 
-    /// Effective capacity cap in force at `round`, if any squeeze
-    /// applies (the minimum over applicable squeezes).
+    /// Cluster-wide capacity cap in force at `round`, if any
+    /// machine-unscoped squeeze applies (the minimum over applicable
+    /// squeezes). Machine-scoped squeezes are consulted through
+    /// [`FaultPlan::squeeze_for`].
     pub fn squeeze_at(&self, round: usize) -> Option<usize> {
         self.scheduled
             .iter()
@@ -435,10 +516,63 @@ impl FaultPlan {
                 FaultSpec::Squeeze {
                     from_round,
                     capacity_words,
+                    machine: None,
                 } if *from_round <= round => Some(*capacity_words),
                 _ => None,
             })
             .min()
+    }
+
+    /// Capacity cap in force for `machine` at `round`, combining
+    /// cluster-wide and machine-scoped squeezes (the minimum over all
+    /// applicable squeezes).
+    pub fn squeeze_for(&self, round: usize, machine: usize) -> Option<usize> {
+        self.scheduled
+            .iter()
+            .filter_map(|s| match s {
+                FaultSpec::Squeeze {
+                    from_round,
+                    capacity_words,
+                    machine: m,
+                } if *from_round <= round && m.is_none_or(|m| m == machine) => {
+                    Some(*capacity_words)
+                }
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Tightest capacity cap in force for *any* machine at `round` —
+    /// the cluster-minimum effective capacity under this plan.
+    pub(crate) fn squeeze_min(&self, round: usize) -> Option<usize> {
+        self.scheduled
+            .iter()
+            .filter_map(|s| match s {
+                FaultSpec::Squeeze {
+                    from_round,
+                    capacity_words,
+                    ..
+                } if *from_round <= round => Some(*capacity_words),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Whether `machine` crashes (loses its shard) during execution
+    /// attempt `attempt` of `round`. Attempt 0 is the initial execution;
+    /// attempt `k > 0` is the `k`-th re-execution from the checkpoint.
+    pub fn crashed(&self, round: usize, attempt: u32, machine: usize) -> bool {
+        self.scheduled.iter().any(|s| {
+            matches!(s, FaultSpec::Crash { round: r, attempt: a, machine: m }
+                     if *r == round && *a == attempt && *m == machine)
+        }) || self.rate_hit(
+            self.rates.crash,
+            TAG_CRASH,
+            round,
+            attempt,
+            machine as u64,
+            0,
+        )
     }
 
     /// Simulated backoff before retry attempt `next_attempt`
@@ -456,15 +590,17 @@ impl FaultPlan {
         let mut out = String::with_capacity(256 + 96 * self.scheduled.len());
         let _ = write!(
             out,
-            "{{\n  \"seed\": {},\n  \"max_retries\": {},\n  \"backoff_ns\": {},\n  \"rates\": {{\"drop\": {}, \"duplicate\": {}, \"unavailable\": {}, \"straggle\": {}, \"straggle_ns\": {}}},\n  \"scheduled\": [",
+            "{{\n  \"seed\": {},\n  \"max_retries\": {},\n  \"max_recoveries\": {},\n  \"backoff_ns\": {},\n  \"rates\": {{\"drop\": {}, \"duplicate\": {}, \"unavailable\": {}, \"straggle\": {}, \"straggle_ns\": {}, \"crash\": {}}},\n  \"scheduled\": [",
             self.seed,
             self.max_retries,
+            self.max_recoveries,
             self.backoff_ns,
             fmt_f64(self.rates.drop),
             fmt_f64(self.rates.duplicate),
             fmt_f64(self.rates.unavailable),
             fmt_f64(self.rates.straggle),
             self.rates.straggle_ns,
+            fmt_f64(self.rates.crash),
         );
         for (i, s) in self.scheduled.iter().enumerate() {
             out.push_str(if i == 0 { "\n    " } else { ",\n    " });
@@ -514,10 +650,25 @@ impl FaultPlan {
                 FaultSpec::Squeeze {
                     from_round,
                     capacity_words,
+                    machine,
                 } => {
                     let _ = write!(
                         out,
-                        "{{\"kind\": \"squeeze\", \"from_round\": {from_round}, \"capacity_words\": {capacity_words}}}"
+                        "{{\"kind\": \"squeeze\", \"from_round\": {from_round}, \"capacity_words\": {capacity_words}"
+                    );
+                    if let Some(m) = machine {
+                        let _ = write!(out, ", \"machine\": {m}");
+                    }
+                    out.push('}');
+                }
+                FaultSpec::Crash {
+                    round,
+                    attempt,
+                    machine,
+                } => {
+                    let _ = write!(
+                        out,
+                        "{{\"kind\": \"crash\", \"round\": {round}, \"attempt\": {attempt}, \"machine\": {machine}}}"
                     );
                 }
             }
@@ -542,6 +693,10 @@ impl FaultPlan {
                 "max_retries" => {
                     plan.max_retries = v.as_u64().ok_or("max_retries must be an integer")? as u32
                 }
+                "max_recoveries" => {
+                    plan.max_recoveries =
+                        v.as_u64().ok_or("max_recoveries must be an integer")? as u32
+                }
                 "backoff_ns" => {
                     plan.backoff_ns = v.as_u64().ok_or("backoff_ns must be an integer")?
                 }
@@ -555,6 +710,7 @@ impl FaultPlan {
                             "unavailable" => plan.rates.unavailable = f,
                             "straggle" => plan.rates.straggle = f,
                             "straggle_ns" => plan.rates.straggle_ns = f as u64,
+                            "crash" => plan.rates.crash = f,
                             _ => {}
                         }
                     }
@@ -621,6 +777,14 @@ fn parse_spec(v: &json::Value) -> Result<FaultSpec, String> {
         "squeeze" => FaultSpec::Squeeze {
             from_round: field("from_round")? as usize,
             capacity_words: field("capacity_words")? as usize,
+            // Optional for backward compatibility with plans emitted
+            // before machine-scoped squeezes existed.
+            machine: get("machine").map(|m| m as usize),
+        },
+        "crash" => FaultSpec::Crash {
+            round: field("round")? as usize,
+            attempt: field("attempt")? as u32,
+            machine: field("machine")? as usize,
         },
         other => return Err(format!("unknown fault kind {other:?}")),
     })
@@ -941,6 +1105,7 @@ mod tests {
             unavailable: 0.2,
             straggle: 0.4,
             straggle_ns: 1_000,
+            crash: 0.3,
         });
         for round in 0..10 {
             for attempt in 0..3 {
@@ -954,6 +1119,10 @@ mod tests {
                     assert_eq!(
                         p.unavailable(round, attempt, src),
                         p.unavailable(round, attempt, src)
+                    );
+                    assert_eq!(
+                        p.crashed(round, attempt, src),
+                        p.crashed(round, attempt, src)
                     );
                 }
             }
@@ -1034,15 +1203,81 @@ mod tests {
             .with_fault(FaultSpec::Squeeze {
                 from_round: 3,
                 capacity_words: 100,
+                machine: None,
             })
             .with_fault(FaultSpec::Squeeze {
                 from_round: 5,
                 capacity_words: 40,
+                machine: None,
             });
         assert_eq!(p.squeeze_at(2), None);
         assert_eq!(p.squeeze_at(3), Some(100));
         assert_eq!(p.squeeze_at(5), Some(40));
         assert_eq!(p.squeeze_at(100), Some(40));
+    }
+
+    #[test]
+    fn machine_scoped_squeeze_hits_only_its_machine() {
+        let p = FaultPlan::new(0)
+            .with_fault(FaultSpec::Squeeze {
+                from_round: 1,
+                capacity_words: 50,
+                machine: Some(2),
+            })
+            .with_fault(FaultSpec::Squeeze {
+                from_round: 4,
+                capacity_words: 80,
+                machine: None,
+            });
+        // Machine-scoped squeezes are invisible to the cluster-wide view.
+        assert_eq!(p.squeeze_at(1), None);
+        assert_eq!(p.squeeze_at(4), Some(80));
+        // Per-machine view combines both scopes.
+        assert_eq!(p.squeeze_for(0, 2), None);
+        assert_eq!(p.squeeze_for(1, 2), Some(50));
+        assert_eq!(p.squeeze_for(1, 0), None);
+        assert_eq!(p.squeeze_for(4, 0), Some(80));
+        assert_eq!(p.squeeze_for(4, 2), Some(50));
+        // The cluster minimum sees every scope.
+        assert_eq!(p.squeeze_min(1), Some(50));
+        assert_eq!(p.squeeze_min(0), None);
+    }
+
+    #[test]
+    fn scheduled_crashes_fire_exactly_where_scheduled() {
+        let p = FaultPlan::new(0).with_fault(FaultSpec::Crash {
+            round: 2,
+            attempt: 0,
+            machine: 1,
+        });
+        assert!(p.can_crash());
+        assert!(p.crashed(2, 0, 1));
+        assert!(!p.crashed(2, 1, 1), "re-execution from checkpoint is clean");
+        assert!(!p.crashed(2, 0, 0));
+        assert!(!p.crashed(1, 0, 1));
+        assert!(!FaultPlan::new(0).can_crash());
+        assert!(FaultPlan::new(0)
+            .with_rates(FaultRates {
+                crash: 0.1,
+                ..FaultRates::default()
+            })
+            .can_crash());
+    }
+
+    #[test]
+    fn crash_rate_hits_at_roughly_its_probability_and_decorrelates_attempts() {
+        let p = FaultPlan::new(13).with_rates(FaultRates {
+            crash: 0.25,
+            ..FaultRates::default()
+        });
+        let n = 4000;
+        let hits = (0..n).filter(|&m| p.crashed(0, 0, m)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((0.2..0.3).contains(&rate), "empirical crash rate {rate}");
+        // A machine crashed at attempt 0 must be able to survive a
+        // re-execution (otherwise recovery could never succeed).
+        let recovered = (0..64).any(|m| p.crashed(0, 0, m) && !p.crashed(0, 1, m));
+        assert!(recovered);
     }
 
     #[test]
@@ -1062,6 +1297,7 @@ mod tests {
         let plan = FaultPlan {
             seed: u64::MAX - 3,
             max_retries: 5,
+            max_recoveries: 2,
             backoff_ns: 123,
             rates: FaultRates {
                 drop: 0.125,
@@ -1069,6 +1305,7 @@ mod tests {
                 unavailable: 1.0,
                 straggle: 0.5,
                 straggle_ns: 777,
+                crash: 0.0625,
             },
             scheduled: vec![
                 FaultSpec::Straggle {
@@ -1096,12 +1333,39 @@ mod tests {
                 FaultSpec::Squeeze {
                     from_round: 3,
                     capacity_words: 64,
+                    machine: None,
+                },
+                FaultSpec::Squeeze {
+                    from_round: 2,
+                    capacity_words: 48,
+                    machine: Some(5),
+                },
+                FaultSpec::Crash {
+                    round: 1,
+                    attempt: 1,
+                    machine: 3,
                 },
             ],
         };
         let text = plan.to_json();
         let back = FaultPlan::from_json(&text).unwrap();
         assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn machine_less_squeeze_json_still_parses() {
+        // Plans serialized before machine-scoped squeezes existed carry
+        // no "machine" key; they must keep parsing as cluster-wide.
+        let text = r#"{"scheduled": [{"kind": "squeeze", "from_round": 2, "capacity_words": 32}]}"#;
+        let plan = FaultPlan::from_json(text).unwrap();
+        assert_eq!(
+            plan.scheduled,
+            vec![FaultSpec::Squeeze {
+                from_round: 2,
+                capacity_words: 32,
+                machine: None,
+            }]
+        );
     }
 
     #[test]
@@ -1156,6 +1420,30 @@ mod tests {
                 msg_index: usize::MAX,
                 value: 99,
             },
+            FaultEvent {
+                round: 3,
+                attempt: 0,
+                kind: FaultKind::Squeeze,
+                machine: 4,
+                msg_index: 4,
+                value: 17,
+            },
+            FaultEvent {
+                round: 4,
+                attempt: 0,
+                kind: FaultKind::Crash,
+                machine: 1,
+                msg_index: usize::MAX,
+                value: 0,
+            },
+            FaultEvent {
+                round: 4,
+                attempt: 1,
+                kind: FaultKind::Recover,
+                machine: 1,
+                msg_index: usize::MAX,
+                value: 64,
+            },
         ];
         let plan = FaultPlan::from_events(&events, 2, 10);
         assert_eq!(
@@ -1169,7 +1457,18 @@ mod tests {
                 },
                 FaultSpec::Squeeze {
                     from_round: 2,
-                    capacity_words: 99
+                    capacity_words: 99,
+                    machine: None,
+                },
+                FaultSpec::Squeeze {
+                    from_round: 3,
+                    capacity_words: 17,
+                    machine: Some(4),
+                },
+                FaultSpec::Crash {
+                    round: 4,
+                    attempt: 0,
+                    machine: 1,
                 },
             ]
         );
@@ -1201,6 +1500,37 @@ mod tests {
         let shrunk = shrink_plan(&plan, |p| p.scheduled.contains(&culprit));
         assert_eq!(shrunk.scheduled, vec![culprit]);
         assert!(shrunk.rates.is_zero());
+    }
+
+    #[test]
+    fn shrink_isolates_a_crash_spec_among_noise() {
+        // Failure reproduces iff the plan still schedules the round-2
+        // crash on machine 1 — the crash-spec analogue of the drop case.
+        let culprit = FaultSpec::Crash {
+            round: 2,
+            attempt: 0,
+            machine: 1,
+        };
+        let mut plan = FaultPlan::new(9).with_rates(FaultRates {
+            crash: 0.05,
+            ..FaultRates::default()
+        });
+        for r in 0..5 {
+            plan.scheduled.push(FaultSpec::Crash {
+                round: r,
+                attempt: 0,
+                machine: 0,
+            });
+            plan.scheduled.push(FaultSpec::Squeeze {
+                from_round: r + 10,
+                capacity_words: 1 << 12,
+                machine: Some(r),
+            });
+        }
+        plan.scheduled.insert(4, culprit);
+        let shrunk = shrink_plan(&plan, |p| p.scheduled.contains(&culprit));
+        assert_eq!(shrunk.scheduled, vec![culprit]);
+        assert!(shrunk.rates.is_zero(), "crash rate must be shrunk away");
     }
 
     #[test]

@@ -27,16 +27,22 @@
 //! aggregation trees, hash shuffles, and distributed deduplication.
 //!
 //! ```
-//! use treeemb_mpc::{config::MpcConfig, cluster::Runtime};
+//! use treeemb_mpc::cluster::Runtime;
 //!
-//! let cfg = MpcConfig::explicit(1 << 16, 4096, 16).with_threads(2);
-//! let mut rt = Runtime::new(cfg);
+//! let mut rt = Runtime::builder()
+//!     .input_words(1 << 16)
+//!     .capacity_words(4096)
+//!     .machines(16)
+//!     .threads(2)
+//!     .build();
 //! let data: Vec<u64> = (0..1000).collect();
 //! let dist = rt.distribute(data).unwrap();
 //! let sorted = treeemb_mpc::primitives::sort::sort_by_key(&mut rt, dist, |x| *x).unwrap();
 //! assert!(rt.metrics().rounds() <= 8);
 //! assert_eq!(rt.gather(sorted), (0..1000).collect::<Vec<u64>>());
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod cluster;
 pub mod config;
@@ -48,7 +54,7 @@ pub mod primitives;
 pub mod words;
 
 pub use cluster::{Dist, Emitter, MachineId, Runtime};
-pub use config::MpcConfig;
+pub use config::{from_env, CheckpointPolicy, EnvOverrides, MpcConfig, RuntimeBuilder};
 pub use error::{MpcError, MpcResult};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultRates, FaultSpec};
 pub use words::Words;

@@ -29,6 +29,14 @@ pub struct RoundStats {
     pub attempts: u32,
     /// Faults injected during the round (0 without a fault plan).
     pub faults: usize,
+    /// Checkpoint restores performed this round — re-executions of
+    /// crashed machines' partitions from the round-input snapshot (0
+    /// without crash injection).
+    pub recoveries: u32,
+    /// Words held by the round-input checkpoint while this round ran (0
+    /// when checkpointing was inactive). Counted against total space,
+    /// not against any single machine's capacity.
+    pub checkpoint_words: usize,
 }
 
 impl RoundStats {
@@ -128,6 +136,22 @@ impl Metrics {
         self.rounds.iter().filter(|r| r.attempts > 1).count()
     }
 
+    /// Total checkpoint restores (crash recoveries) across all rounds.
+    pub fn recoveries(&self) -> u32 {
+        self.rounds.iter().map(|r| r.recoveries).sum()
+    }
+
+    /// Largest round-input checkpoint held by any round, in words — the
+    /// space-overhead term checkpointing adds to the paper's total-space
+    /// accounting.
+    pub fn peak_checkpoint_words(&self) -> usize {
+        self.rounds
+            .iter()
+            .map(|r| r.checkpoint_words)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Rounds whose label starts with `prefix` (primitives label their
     /// internal rounds, letting callers attribute round budgets).
     pub fn rounds_labeled(&self, prefix: &str) -> usize {
@@ -181,13 +205,14 @@ impl Metrics {
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(
-            "rounds={} peak_machine_words={} peak_total_words={} sent_words={} max_round_sent_words={} violations={}",
+            "rounds={} peak_machine_words={} peak_total_words={} sent_words={} max_round_sent_words={} violations={} recoveries={}",
             self.rounds(),
             self.peak_machine_words(),
             self.peak_total_words(),
             self.total_sent_words(),
             self.max_round_sent_words(),
-            self.violations()
+            self.violations(),
+            self.recoveries()
         )
     }
 }
@@ -209,6 +234,8 @@ mod tests {
             t_end_ns: 10 * round as u64 + 5,
             attempts: 1,
             faults: 0,
+            recoveries: 0,
+            checkpoint_words: 0,
         }
     }
 
@@ -295,5 +322,20 @@ mod tests {
         m.record_round(retried);
         assert_eq!(m.faults_injected(), 5);
         assert_eq!(m.retried_rounds(), 1);
+    }
+
+    #[test]
+    fn recovery_counters_aggregate() {
+        let mut m = Metrics::new();
+        let mut crashed = stats(0, "a", 1, 1);
+        crashed.recoveries = 2;
+        crashed.checkpoint_words = 64;
+        m.record_round(crashed);
+        let mut clean = stats(1, "b", 1, 1);
+        clean.checkpoint_words = 48;
+        m.record_round(clean);
+        assert_eq!(m.recoveries(), 2);
+        assert_eq!(m.peak_checkpoint_words(), 64);
+        assert!(m.summary().contains("recoveries=2"));
     }
 }

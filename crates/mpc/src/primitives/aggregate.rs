@@ -17,7 +17,7 @@ pub fn reduce<T, A, L, C>(
     combine: C,
 ) -> MpcResult<Option<A>>
 where
-    T: Words + Send + Sync,
+    T: Words + Send + Sync + Clone,
     A: Words + Send + Sync + Clone,
     L: Fn(&[T]) -> Option<A> + Sync,
     C: Fn(A, A) -> A + Sync + Send + Copy,
@@ -71,7 +71,7 @@ where
 }
 
 /// Global record count (words of bookkeeping: one u64 per machine).
-pub fn count<T: Words + Send + Sync>(rt: &mut Runtime, input: &Dist<T>) -> MpcResult<u64> {
+pub fn count<T: Words + Send + Sync + Clone>(rt: &mut Runtime, input: &Dist<T>) -> MpcResult<u64> {
     let counts: Vec<Vec<u64>> = input.parts().iter().map(|p| vec![p.len() as u64]).collect();
     let dist = Dist::from_parts(counts);
     Ok(reduce(rt, dist, |s| s.first().copied(), |a, b| a + b)?.unwrap_or(0))
@@ -80,7 +80,7 @@ pub fn count<T: Words + Send + Sync>(rt: &mut Runtime, input: &Dist<T>) -> MpcRe
 /// Global sum of a numeric projection.
 pub fn sum_by<T, F>(rt: &mut Runtime, input: &Dist<T>, f: F) -> MpcResult<f64>
 where
-    T: Words + Send + Sync,
+    T: Words + Send + Sync + Clone,
     F: Fn(&T) -> f64 + Sync,
 {
     let partial: Vec<Vec<f64>> = input
@@ -95,7 +95,7 @@ where
 /// Global maximum of an ordered projection.
 pub fn max_by<T, K, F>(rt: &mut Runtime, input: &Dist<T>, f: F) -> MpcResult<Option<K>>
 where
-    T: Words + Send + Sync,
+    T: Words + Send + Sync + Clone,
     K: Ord + Words + Send + Sync + Clone,
     F: Fn(&T) -> K + Sync,
 {
@@ -119,7 +119,9 @@ mod tests {
     use crate::config::MpcConfig;
 
     fn rt(machines: usize) -> Runtime {
-        Runtime::new(MpcConfig::explicit(1 << 12, 64, machines).with_threads(4))
+        Runtime::builder()
+            .config(MpcConfig::explicit(1 << 12, 64, machines).with_threads(4))
+            .build()
     }
 
     #[test]
@@ -156,7 +158,9 @@ mod tests {
 
     #[test]
     fn round_count_constant_for_large_clusters() {
-        let mut rt = Runtime::new(MpcConfig::explicit(1 << 16, 64, 900).with_threads(8));
+        let mut rt = Runtime::builder()
+            .config(MpcConfig::explicit(1 << 16, 64, 900).with_threads(8))
+            .build();
         let dist = rt.distribute((0..4000u64).collect()).unwrap();
         let _ = count(&mut rt, &dist).unwrap();
         // fanout = 32: 900 -> 29 -> 1, i.e. 2 steps.

@@ -107,7 +107,9 @@ mod tests {
 
     #[test]
     fn all_machines_receive_payload() {
-        let mut rt = Runtime::new(MpcConfig::explicit(64, 32, 9).with_threads(4));
+        let mut rt = Runtime::builder()
+            .config(MpcConfig::explicit(64, 32, 9).with_threads(4))
+            .build();
         let out = broadcast(&mut rt, vec![10u64, 20, 30]).unwrap();
         for i in 0..9 {
             assert_eq!(out.part(i), &[10, 20, 30], "machine {i}");
@@ -117,7 +119,9 @@ mod tests {
     #[test]
     fn round_count_is_logarithmic_in_machines() {
         // capacity 8, payload 4 words -> fanout 2 -> 3^k growth.
-        let mut rt = Runtime::new(MpcConfig::explicit(64, 8, 81).with_threads(4));
+        let mut rt = Runtime::builder()
+            .config(MpcConfig::explicit(64, 8, 81).with_threads(4))
+            .build();
         broadcast(&mut rt, vec![1u64, 2, 3, 4]).unwrap();
         assert_eq!(
             rt.metrics().rounds(),
@@ -128,7 +132,9 @@ mod tests {
 
     #[test]
     fn single_machine_needs_no_rounds() {
-        let mut rt = Runtime::new(MpcConfig::explicit(64, 32, 1));
+        let mut rt = Runtime::builder()
+            .config(MpcConfig::explicit(64, 32, 1))
+            .build();
         let out = broadcast(&mut rt, vec![5u64]).unwrap();
         assert_eq!(out.part(0), &[5]);
         assert_eq!(rt.metrics().rounds(), 0);
@@ -136,7 +142,9 @@ mod tests {
 
     #[test]
     fn oversized_payload_is_rejected() {
-        let mut rt = Runtime::new(MpcConfig::explicit(64, 4, 4));
+        let mut rt = Runtime::builder()
+            .config(MpcConfig::explicit(64, 4, 4))
+            .build();
         let err = broadcast(&mut rt, (0..10u64).collect()).unwrap_err();
         assert!(matches!(err, MpcError::AlgorithmFailure(_)));
     }
@@ -144,7 +152,9 @@ mod tests {
     #[test]
     fn never_violates_capacity() {
         for machines in [2usize, 5, 17, 64] {
-            let mut rt = Runtime::new(MpcConfig::explicit(64, 16, machines).with_threads(4));
+            let mut rt = Runtime::builder()
+                .config(MpcConfig::explicit(64, 16, machines).with_threads(4))
+                .build();
             let out = broadcast(&mut rt, vec![1u64, 2, 3, 4, 5]).unwrap();
             assert_eq!(out.part(machines - 1), &[1, 2, 3, 4, 5]);
             assert_eq!(rt.metrics().violations(), 0);

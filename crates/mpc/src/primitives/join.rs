@@ -96,7 +96,9 @@ mod tests {
     use crate::config::MpcConfig;
 
     fn rt(machines: usize) -> Runtime {
-        Runtime::new(MpcConfig::explicit(1 << 12, 1024, machines).with_threads(4))
+        Runtime::builder()
+            .config(MpcConfig::explicit(1 << 12, 1024, machines).with_threads(4))
+            .build()
     }
 
     #[test]

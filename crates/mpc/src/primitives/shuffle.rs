@@ -10,7 +10,7 @@ use crate::words::Words;
 /// breach capacity, which strict mode will report.
 pub fn shuffle_by_key<T, F>(rt: &mut Runtime, input: Dist<T>, key: F) -> MpcResult<Dist<T>>
 where
-    T: Words + Send + Sync,
+    T: Words + Send + Sync + Clone,
     F: Fn(&T) -> u64 + Sync + Send + Copy,
 {
     let _sp = treeemb_obs::span!("mpc.shuffle", "items" = input.total_len());
@@ -30,7 +30,7 @@ where
 /// Algorithm 2 merges tree nodes discovered by different machines.
 pub fn dedup_by_key<T, F>(rt: &mut Runtime, input: Dist<T>, key: F) -> MpcResult<Dist<T>>
 where
-    T: Words + Send + Sync,
+    T: Words + Send + Sync + Clone,
     F: Fn(&T) -> u64 + Sync + Send + Copy,
 {
     let _sp = treeemb_obs::span!("mpc.dedup");
@@ -56,7 +56,7 @@ pub fn group_fold<T, U, F, G>(
     fold: G,
 ) -> MpcResult<Dist<U>>
 where
-    T: Words + Send + Sync,
+    T: Words + Send + Sync + Clone,
     U: Words + Send + Sync,
     F: Fn(&T) -> u64 + Sync + Send + Copy,
     G: Fn(u64, Vec<T>) -> U + Sync + Send,
@@ -90,7 +90,9 @@ mod tests {
     use crate::config::MpcConfig;
 
     fn rt(machines: usize) -> Runtime {
-        Runtime::new(MpcConfig::explicit(1 << 12, 256, machines).with_threads(4))
+        Runtime::builder()
+            .config(MpcConfig::explicit(1 << 12, 256, machines).with_threads(4))
+            .build()
     }
 
     #[test]

@@ -392,7 +392,9 @@ mod tests {
     use rand::{rngs::StdRng, Rng, SeedableRng};
 
     fn rt(cap: usize, machines: usize) -> Runtime {
-        Runtime::new(MpcConfig::explicit(1 << 12, cap, machines).with_threads(4))
+        Runtime::builder()
+            .config(MpcConfig::explicit(1 << 12, cap, machines).with_threads(4))
+            .build()
     }
 
     #[test]
@@ -443,7 +445,9 @@ mod tests {
     fn handles_heavily_skewed_duplicates() {
         let mut data: Vec<u64> = vec![42; 500];
         data.extend(0..100u64);
-        let mut rt = Runtime::new(MpcConfig::explicit(1 << 12, 1024, 8).with_threads(4));
+        let mut rt = Runtime::builder()
+            .config(MpcConfig::explicit(1 << 12, 1024, 8).with_threads(4))
+            .build();
         let dist = rt.distribute(data.clone()).unwrap();
         let sorted = sort_by_key(&mut rt, dist, |x| *x).unwrap();
         let mut expect = data;
@@ -480,7 +484,9 @@ mod tests {
         let data: Vec<u64> = (0..3000).map(|_| rng.gen_range(0..1_000_000)).collect();
         let mut expect = data.clone();
         expect.sort_unstable();
-        let mut rt = Runtime::new(MpcConfig::explicit(1 << 14, 128, 120).with_threads(4));
+        let mut rt = Runtime::builder()
+            .config(MpcConfig::explicit(1 << 14, 128, 120).with_threads(4))
+            .build();
         let dist = rt.distribute(data).unwrap();
         let sorted = sort_by_key(&mut rt, dist, |x| *x).unwrap();
         assert_eq!(rt.gather(sorted), expect);
@@ -489,7 +495,9 @@ mod tests {
 
     #[test]
     fn two_level_round_count_is_bounded() {
-        let mut rt = Runtime::new(MpcConfig::explicit(1 << 14, 128, 120).with_threads(4));
+        let mut rt = Runtime::builder()
+            .config(MpcConfig::explicit(1 << 14, 128, 120).with_threads(4))
+            .build();
         let dist = rt.distribute((0..2000u64).rev().collect()).unwrap();
         let _ = sort_by_key(&mut rt, dist, |x| *x).unwrap();
         assert!(
@@ -503,10 +511,14 @@ mod tests {
     fn two_level_explicit_call_matches_single_level() {
         let mut rng = StdRng::seed_from_u64(9);
         let data: Vec<u64> = (0..1500).map(|_| rng.gen_range(0..10_000)).collect();
-        let mut rt1 = Runtime::new(MpcConfig::explicit(1 << 14, 2048, 16).with_threads(4));
+        let mut rt1 = Runtime::builder()
+            .config(MpcConfig::explicit(1 << 14, 2048, 16).with_threads(4))
+            .build();
         let d1 = rt1.distribute(data.clone()).unwrap();
         let s1 = sort_single_level(&mut rt1, d1, |x| *x).unwrap();
-        let mut rt2 = Runtime::new(MpcConfig::explicit(1 << 14, 2048, 16).with_threads(4));
+        let mut rt2 = Runtime::builder()
+            .config(MpcConfig::explicit(1 << 14, 2048, 16).with_threads(4))
+            .build();
         let d2 = rt2.distribute(data).unwrap();
         let s2 = sort_two_level(&mut rt2, d2, |x| *x).unwrap();
         assert_eq!(rt1.gather(s1), rt2.gather(s2));
@@ -521,7 +533,9 @@ mod tests {
         data.extend((0..400u64).map(|i| i * 3));
         let mut expect = data.clone();
         expect.sort_unstable();
-        let mut rt = Runtime::new(MpcConfig::explicit(1 << 14, 160, 100).with_threads(4));
+        let mut rt = Runtime::builder()
+            .config(MpcConfig::explicit(1 << 14, 160, 100).with_threads(4))
+            .build();
         let dist = rt.distribute(data).unwrap();
         let sorted = sort_by_key(&mut rt, dist, |x| *x).unwrap();
         assert_eq!(rt.gather(sorted), expect);
@@ -533,7 +547,9 @@ mod tests {
         // fail cleanly (capacity error), not mis-sort.
         let mut data: Vec<u64> = vec![7; 800];
         data.extend((0..400u64).map(|i| i * 3));
-        let mut rt = Runtime::new(MpcConfig::explicit(1 << 14, 96, 100).with_threads(4));
+        let mut rt = Runtime::builder()
+            .config(MpcConfig::explicit(1 << 14, 96, 100).with_threads(4))
+            .build();
         let dist = rt.distribute(data).unwrap();
         let err = sort_by_key(&mut rt, dist, |x| *x).unwrap_err();
         assert!(matches!(err, crate::MpcError::CapacityExceeded { .. }));

@@ -18,11 +18,13 @@ fn test_lock() -> MutexGuard<'static, ()> {
 }
 
 fn rt_with(threads: usize, plan: Option<FaultPlan>) -> Runtime {
-    let mut rt = Runtime::new(MpcConfig::explicit(1 << 12, 256, 8).with_threads(threads));
+    let mut builder = Runtime::builder()
+        .config(MpcConfig::explicit(1 << 12, 256, 8))
+        .threads(threads);
     if let Some(p) = plan {
-        rt.set_fault_plan(p);
+        builder = builder.fault_plan(p);
     }
-    rt
+    builder.build()
 }
 
 /// Runs sample-sort over a fixed input and returns (sorted output,
@@ -56,6 +58,7 @@ fn noisy_plan(seed: u64) -> FaultPlan {
             unavailable: 0.005,
             straggle: 0.02,
             straggle_ns: 20_000,
+            crash: 0.0,
         })
         .with_max_retries(12)
 }
@@ -194,6 +197,7 @@ fn capacity_squeeze_shrinks_effective_capacity_and_fails_typed() {
     let plan = FaultPlan::new(0).with_fault(FaultSpec::Squeeze {
         from_round: 1,
         capacity_words: 4,
+        machine: None,
     });
     let mut rt = rt_with(2, Some(plan));
     assert_eq!(rt.capacity(), 256, "squeeze not yet in force");
@@ -327,13 +331,15 @@ fn lenient_mode_still_retries_transient_faults() {
     let cfg = MpcConfig::explicit(1 << 12, 256, 8)
         .with_threads(2)
         .lenient();
-    let mut rt = Runtime::new(cfg);
-    rt.set_fault_plan(FaultPlan::new(0).with_fault(FaultSpec::Drop {
-        round: 0,
-        attempt: 0,
-        src: 0,
-        msg_index: 0,
-    }));
+    let mut rt = Runtime::builder()
+        .config(cfg)
+        .fault_plan(FaultPlan::new(0).with_fault(FaultSpec::Drop {
+            round: 0,
+            attempt: 0,
+            src: 0,
+            msg_index: 0,
+        }))
+        .build();
     let dist = rt.distribute((0..32u64).collect()).unwrap();
     let out = rt
         .round("route", dist, |_, shard, em| {
@@ -353,6 +359,7 @@ fn map_local_and_distribute_respect_squeezed_capacity() {
     let plan = FaultPlan::new(0).with_fault(FaultSpec::Squeeze {
         from_round: 0,
         capacity_words: 2,
+        machine: None,
     });
     let mut rt = rt_with(1, Some(plan.clone()));
     // distribute packs by the squeezed capacity: 8 machines × 2 words.

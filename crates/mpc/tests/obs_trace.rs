@@ -60,7 +60,9 @@ fn round_spans_carry_word_counters_and_nest_under_primitives() {
     let _g = test_lock();
     treeemb_obs::capture_start();
     treeemb_obs::drain();
-    let mut rt = Runtime::new(MpcConfig::explicit(1 << 12, 256, 8).with_threads(4));
+    let mut rt = Runtime::builder()
+        .config(MpcConfig::explicit(1 << 12, 256, 8).with_threads(4))
+        .build();
     let dist = rt.distribute((0..64u64).collect()).unwrap();
     let sorted = treeemb_mpc::primitives::sort::sort_by_key(&mut rt, dist, |x| *x).unwrap();
     assert_eq!(rt.gather(sorted).len(), 64);
@@ -107,7 +109,9 @@ fn round_spans_carry_word_counters_and_nest_under_primitives() {
 #[test]
 fn metrics_round_timestamps_are_monotone() {
     let _g = test_lock();
-    let mut rt = Runtime::new(MpcConfig::explicit(1 << 12, 256, 4).with_threads(2));
+    let mut rt = Runtime::builder()
+        .config(MpcConfig::explicit(1 << 12, 256, 4).with_threads(2))
+        .build();
     let mut dist = rt.distribute((0..32u64).collect()).unwrap();
     for step in 0..3 {
         dist = rt

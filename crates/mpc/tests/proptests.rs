@@ -6,7 +6,9 @@ use treeemb_mpc::primitives::{aggregate, shuffle, sort};
 use treeemb_mpc::{MpcConfig, Runtime};
 
 fn runtime(cap: usize, machines: usize, threads: usize) -> Runtime {
-    Runtime::new(MpcConfig::explicit(1 << 14, cap, machines).with_threads(threads))
+    Runtime::builder()
+        .config(MpcConfig::explicit(1 << 14, cap, machines).with_threads(threads))
+        .build()
 }
 
 proptest! {

@@ -12,8 +12,7 @@
 
 use std::time::Instant;
 use treeemb::apps::ann::{exact_nearest, AnnIndex};
-use treeemb::core::params::HybridParams;
-use treeemb::geom::{generators, metrics};
+use treeemb::prelude::*;
 
 fn main() {
     let n = 5000;

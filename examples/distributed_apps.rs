@@ -12,16 +12,19 @@ use treeemb::apps::exact::prim;
 use treeemb::apps::mpc::{mpc_densest_cluster, mpc_mst_edges, mpc_tree_emd};
 use treeemb::core::mpc_embed::embed_mpc_full;
 use treeemb::core::mpc_tree::{root_paths, TreeEdge};
-use treeemb::core::params::HybridParams;
-use treeemb::geom::generators;
-use treeemb::mpc::{MpcConfig, Runtime};
+use treeemb::prelude::*;
 
 fn main() {
     let n = 120;
     let points = generators::gaussian_clusters(n, 8, 5, 3.0, 1 << 11, 99);
     let params = HybridParams::for_dataset(&points, 4).expect("schedule");
     let cap = (params.total_grid_words() * 4).max(1 << 16);
-    let mut rt = Runtime::new(MpcConfig::explicit(n * 9, cap, 16).with_threads(4));
+    let mut rt = Runtime::builder()
+        .input_words(n * 9)
+        .capacity_words(cap)
+        .machines(16)
+        .threads(4)
+        .build();
 
     // Algorithm 2, keeping the distributed paths.
     let full = embed_mpc_full(&mut rt, &points, &params, 7).expect("embed");
@@ -89,7 +92,12 @@ fn main() {
             weight,
         })
         .collect();
-    let mut rt2 = Runtime::new(MpcConfig::explicit(1 << 16, 1 << 14, 16).with_threads(4));
+    let mut rt2 = Runtime::builder()
+        .input_words(1 << 16)
+        .capacity_words(1 << 14)
+        .machines(16)
+        .threads(4)
+        .build();
     let dist = rt2.distribute(tree_edges).expect("distribute");
     let paths = root_paths(&mut rt2, dist).expect("pointer doubling");
     let max_depth = rt2

@@ -7,9 +7,7 @@
 //! ```
 
 use treeemb::apps::emd::{exact_emd, tree_emd};
-use treeemb::core::params::HybridParams;
-use treeemb::core::seq::SeqEmbedder;
-use treeemb::geom::{generators, PointSet};
+use treeemb::prelude::*;
 
 fn main() {
     // Three "documents": cloud B is A plus per-point jitter (a

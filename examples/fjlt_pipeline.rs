@@ -6,8 +6,7 @@
 //! cargo run --release --example fjlt_pipeline
 //! ```
 
-use treeemb::core::pipeline::{run, PipelineConfig};
-use treeemb::geom::{generators, metrics};
+use treeemb::prelude::*;
 
 fn main() {
     // 64 points on a noisy 1-D manifold in 2048 ambient dimensions —
@@ -15,12 +14,8 @@ fn main() {
     let points = generators::noisy_line(64, 2048, 1 << 12, 2.0, 77);
     println!("input: n={} d={}", points.len(), points.dim());
 
-    let cfg = PipelineConfig {
-        xi: 0.6,
-        threads: 4,
-        ..Default::default()
-    };
-    let report = run(&points, &cfg).expect("pipeline");
+    let cfg = PipelineConfig::builder().xi(0.6).threads(4).build();
+    let report = pipeline::run(&points, &cfg).expect("pipeline");
 
     println!("JL applied: {}", report.jl_applied);
     if let Some(fp) = &report.fjlt {

@@ -12,9 +12,7 @@
 //! ```
 
 use treeemb::apps::kmedian::{exact_kmedian_euclid, kmedian_cost_euclid, tree_kmedian};
-use treeemb::core::params::HybridParams;
-use treeemb::core::seq::SeqEmbedder;
-use treeemb::geom::generators;
+use treeemb::prelude::*;
 
 fn main() {
     // 14 points in 3 visible clusters: small enough that exhaustive

@@ -7,9 +7,9 @@
 
 use treeemb::apps::exact::prim;
 use treeemb::apps::mst::tree_mst;
-use treeemb::core::params::{GridParams, HybridParams};
-use treeemb::core::seq::{GridEmbedder, SeqEmbedder};
-use treeemb::geom::generators;
+use treeemb::core::params::GridParams;
+use treeemb::core::seq::GridEmbedder;
+use treeemb::prelude::*;
 
 fn main() {
     // A mixture of 6 Gaussian clusters — the workload where spanning

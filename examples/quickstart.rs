@@ -5,9 +5,7 @@
 //! ```
 
 use treeemb::core::audit::{check_domination, estimate_expected_distortion};
-use treeemb::core::params::HybridParams;
-use treeemb::core::seq::SeqEmbedder;
-use treeemb::geom::{generators, metrics};
+use treeemb::prelude::*;
 
 fn main() {
     // 1. A dataset: 200 integer points in [1024]^8 (the paper's [Δ]^d model).

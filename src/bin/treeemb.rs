@@ -18,10 +18,8 @@ use treeemb::apps::emd::{exact_emd, tree_emd};
 use treeemb::apps::exact::prim;
 use treeemb::apps::kmedian::{kmedian_cost_euclid, tree_kmedian};
 use treeemb::apps::mst::tree_mst;
-use treeemb::core::params::HybridParams;
-use treeemb::core::seq::SeqEmbedder;
-use treeemb::geom::{generators, PointSet};
 use treeemb::io::{points_from_csv, points_to_csv};
+use treeemb::prelude::*;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -27,6 +27,33 @@
 
 pub mod io;
 
+/// The blessed one-import surface of the workspace.
+///
+/// Everything a typical embedding program needs — point-set generators,
+/// the sequential embedder, the MPC pipeline with its builder-style
+/// configuration, the simulated runtime, fault plans, and both error
+/// types:
+///
+/// ```
+/// use treeemb::prelude::*;
+///
+/// let points = generators::uniform_cube(64, 8, 1024, 42);
+/// let cfg = PipelineConfig::builder().r(4).threads(2).build();
+/// let report = pipeline::run(&points, &cfg).unwrap();
+/// assert!(report.rounds > 0);
+/// ```
+pub mod prelude {
+    pub use treeemb_core::params::HybridParams;
+    pub use treeemb_core::pipeline::{self, PipelineBuilder, PipelineConfig, PipelineReport};
+    pub use treeemb_core::{EmbedError, Embedding, SeqEmbedder};
+    pub use treeemb_geom::{generators, metrics, PointSet};
+    pub use treeemb_mpc::fault::FaultEvent;
+    pub use treeemb_mpc::{
+        from_env, CheckpointPolicy, Dist, FaultKind, FaultPlan, FaultRates, FaultSpec, MpcConfig,
+        MpcError, Runtime, RuntimeBuilder,
+    };
+}
+
 pub use treeemb_apps as apps;
 pub use treeemb_core as core;
 pub use treeemb_fjlt as fjlt;

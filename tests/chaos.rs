@@ -12,14 +12,13 @@ use treeemb_mpc::fault::{FaultPlan, FaultRates, FaultSpec};
 use treeemb_mpc::{FaultKind, MpcError};
 
 fn pipeline_cfg(threads: usize) -> PipelineConfig {
-    PipelineConfig {
-        capacity: Some(1 << 15),
-        machines: Some(8),
-        r: Some(4),
-        threads,
-        seed: 0x7EED,
-        ..Default::default()
-    }
+    PipelineConfig::builder()
+        .capacity_words(1 << 15)
+        .machines(8)
+        .r(4)
+        .threads(threads)
+        .seed(0x7EED)
+        .build()
 }
 
 fn pinpoint_plan(seed: u64) -> FaultPlan {
@@ -65,12 +64,11 @@ fn capacity_squeeze_is_a_typed_error_from_the_full_pipeline() {
     let plan = FaultPlan::new(5).with_fault(FaultSpec::Squeeze {
         from_round: 2,
         capacity_words: 32,
+        machine: None,
     });
-    let cfg = PipelineConfig {
-        faults: Some(plan),
-        fault_attempts: 2,
-        ..pipeline_cfg(2)
-    };
+    let mut cfg = pipeline_cfg(2);
+    cfg.faults = Some(plan);
+    cfg.fault_attempts = 2;
     let (result, events) = pipeline::run_faulted(&ps, &cfg);
     match result {
         Err(EmbedError::Mpc(e)) => {
@@ -103,15 +101,14 @@ fn fault_sequence_and_outcome_are_thread_count_invariant() {
             unavailable: 0.003,
             straggle: 0.02,
             straggle_ns: 2_000,
+            crash: 0.0,
         })
         .with_max_retries(8);
     let mut baseline: Option<(Result<Vec<u64>, String>, Vec<_>)> = None;
     for threads in [1usize, 2, 7] {
-        let cfg = PipelineConfig {
-            faults: Some(plan.clone()),
-            fault_attempts: 2,
-            ..pipeline_cfg(threads)
-        };
+        let mut cfg = pipeline_cfg(threads);
+        cfg.faults = Some(plan.clone());
+        cfg.fault_attempts = 2;
         let (result, events) = pipeline::run_faulted(&ps, &cfg);
         let digest = result
             .map(|report| {
@@ -183,5 +180,140 @@ fn mini_sweep_upholds_the_conformance_contract() {
             .filter(|r| r.plan_name == "squeeze")
             .all(|r| matches!(r.outcome.verdict, ChaosVerdict::TypedError(_))),
         "squeeze plans should surface as typed errors"
+    );
+    // The crash column must recover (conformant, with restores logged);
+    // the crash-exhaust column must die of the typed recovery error.
+    for row in rows.iter().filter(|r| r.plan_name == "crash") {
+        assert_eq!(
+            row.outcome.verdict,
+            ChaosVerdict::Conformant,
+            "crash plan should recover bit-identically (stage={} seed={})",
+            row.stage.name(),
+            row.seed
+        );
+        assert!(
+            row.outcome
+                .events
+                .iter()
+                .any(|e| e.kind == FaultKind::Crash),
+            "crash plan injected no crashes (stage={} seed={})",
+            row.stage.name(),
+            row.seed
+        );
+    }
+    assert!(
+        rows.iter()
+            .filter(|r| r.plan_name == "crash-exhaust")
+            .all(|r| matches!(r.outcome.verdict, ChaosVerdict::TypedError(_))),
+        "exhausted recovery budgets should surface as typed errors"
+    );
+}
+
+/// Tentpole acceptance criterion: with at least one scheduled crash in
+/// every early round, the full pipeline completes via checkpoint
+/// recovery, its output is bit-identical to the fault-free run, the
+/// restores show up in `Metrics::recoveries`, and the checkpoint's words
+/// are metered.
+#[test]
+fn scheduled_crashes_recover_bit_identical_through_the_pipeline() {
+    let ps = generators::uniform_cube(24, 8, 256, 11);
+    let cfg = pipeline_cfg(2);
+    let clean = pipeline::run(&ps, &cfg).expect("fault-free pipeline failed");
+
+    // Rounds the pipeline accounts analytically (broadcast steps) never
+    // execute, so blanket every index: each *executed* round then loses
+    // exactly one machine.
+    let mut plan = FaultPlan::new(11);
+    for round in 0..32 {
+        plan = plan.with_fault(FaultSpec::Crash {
+            round,
+            attempt: 0,
+            machine: round % 8,
+        });
+    }
+    let mut crashed_cfg = pipeline_cfg(2);
+    crashed_cfg.faults = Some(plan);
+    let (result, events) = pipeline::run_faulted(&ps, &crashed_cfg);
+    let report = result.expect("crashed pipeline must recover from checkpoints");
+
+    for i in 0..ps.len() {
+        for j in (i + 1)..ps.len() {
+            assert_eq!(
+                clean.embedding.tree_distance(i, j).to_bits(),
+                report.embedding.tree_distance(i, j).to_bits(),
+                "recovered run diverged from the fault-free run at pair ({i},{j})"
+            );
+        }
+    }
+    let executed_rounds = report
+        .metrics
+        .round_stats()
+        .iter()
+        .filter(|r| r.checkpoint_words > 0)
+        .count() as u32;
+    assert!(
+        executed_rounds >= 2,
+        "pipeline should execute several rounds"
+    );
+    assert_eq!(
+        report.metrics.recoveries(),
+        executed_rounds,
+        "every executed round should have restored exactly one machine"
+    );
+    assert!(
+        report.metrics.peak_checkpoint_words() > 0,
+        "checkpoint words must be metered against total space"
+    );
+    assert!(
+        report
+            .metrics
+            .round_stats()
+            .iter()
+            .any(|r| r.recoveries > 0 && r.checkpoint_words > 0),
+        "per-round stats must attribute restores to checkpointed rounds"
+    );
+    assert!(events.iter().any(|e| e.kind == FaultKind::Crash));
+    assert!(events.iter().any(|e| e.kind == FaultKind::Recover));
+}
+
+/// Tentpole acceptance criterion: a crash schedule that outlives the
+/// recovery budget surfaces as the typed, retryable
+/// `MpcError::RecoveryExhausted` — never a panic.
+#[test]
+fn exhausted_recovery_budget_is_a_typed_retryable_error() {
+    let ps = generators::uniform_cube(24, 8, 256, 13);
+    // Crash machine 0 on the initial run and the single permitted
+    // re-execution of whichever round executes first (accounted rounds
+    // are skipped, so blanket every index).
+    let mut plan = FaultPlan::new(13).with_max_recoveries(1);
+    for round in 0..32 {
+        for attempt in 0..2 {
+            plan = plan.with_fault(FaultSpec::Crash {
+                round,
+                attempt,
+                machine: 0,
+            });
+        }
+    }
+    let mut cfg = pipeline_cfg(2);
+    cfg.faults = Some(plan);
+    cfg.fault_attempts = 2;
+    let (result, events) = pipeline::run_faulted(&ps, &cfg);
+    match result {
+        Err(EmbedError::Mpc(e)) => {
+            assert!(
+                matches!(e, MpcError::RecoveryExhausted { attempts: 2, .. }),
+                "expected RecoveryExhausted after 2 executions, got: {e}"
+            );
+            assert!(
+                e.is_retryable(),
+                "recovery exhaustion is transient and must be retryable"
+            );
+        }
+        other => panic!("expected a typed MPC error, got {other:?}"),
+    }
+    assert!(
+        events.iter().filter(|e| e.kind == FaultKind::Crash).count() >= 2,
+        "fault log must name every crashed execution"
     );
 }

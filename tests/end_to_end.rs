@@ -15,11 +15,7 @@ use treeemb::geom::{generators, metrics};
 fn pipeline_tree_feeds_all_three_applications() {
     let n = 60;
     let points = generators::gaussian_clusters(n, 8, 4, 3.0, 1 << 10, 5);
-    let cfg = PipelineConfig {
-        r: Some(4),
-        threads: 2,
-        ..Default::default()
-    };
+    let cfg = PipelineConfig::builder().r(4).threads(2).build();
     let report = run(&points, &cfg).expect("pipeline");
     let emb = &report.embedding;
 
@@ -62,12 +58,7 @@ fn mpc_pipeline_agrees_with_sequential_embedding() {
         .embed(&points, seed)
         .unwrap();
 
-    let cfg = PipelineConfig {
-        r: Some(4),
-        seed,
-        threads: 2,
-        ..Default::default()
-    };
+    let cfg = PipelineConfig::builder().r(4).seed(seed).threads(2).build();
     let report = run(&points, &cfg).expect("pipeline");
     for i in 0..points.len() {
         for j in (i + 1)..points.len() {
@@ -84,11 +75,7 @@ fn high_dimensional_pipeline_is_usable_downstream() {
     // queries on the original points.
     let n = 32;
     let points = generators::noisy_line(n, 600, 1 << 10, 1.5, 9);
-    let cfg = PipelineConfig {
-        xi: 0.7,
-        threads: 2,
-        ..Default::default()
-    };
+    let cfg = PipelineConfig::builder().xi(0.7).threads(2).build();
     let report = run(&points, &cfg).expect("pipeline");
     assert!(report.jl_applied);
     let st = tree_mst(&report.embedding, &points);
@@ -108,13 +95,12 @@ fn failure_reporting_is_clean_not_a_panic() {
     // Absurdly small machine capacity: the pipeline must report an MPC
     // failure (Theorem 1's "reports failure"), not panic.
     let points = generators::uniform_cube(64, 8, 512, 13);
-    let cfg = PipelineConfig {
-        r: Some(4),
-        capacity: Some(32),
-        machines: Some(4),
-        threads: 2,
-        ..Default::default()
-    };
+    let cfg = PipelineConfig::builder()
+        .r(4)
+        .capacity_words(32)
+        .machines(4)
+        .threads(2)
+        .build();
     let err = run(&points, &cfg).unwrap_err();
     let msg = err.to_string();
     assert!(!msg.is_empty());

@@ -119,7 +119,7 @@ proptest! {
     fn mpc_sort_sorts_exactly(data in proptest::collection::vec(0u64..1_000_000, 0..500)) {
         use treeemb::mpc::{MpcConfig, Runtime};
         use treeemb::mpc::primitives::sort;
-        let mut rt = Runtime::new(MpcConfig::explicit(1 << 12, 256, 12).with_threads(2));
+        let mut rt = Runtime::builder().config(MpcConfig::explicit(1 << 12, 256, 12).with_threads(2)).build();
         let dist = rt.distribute(data.clone()).unwrap();
         let sorted = sort::sort_by_key(&mut rt, dist, |x| *x).unwrap();
         let got = rt.gather(sorted);

@@ -39,11 +39,7 @@ fn embed_ten_thousand_points() {
 fn pipeline_two_thousand_points_high_dim() {
     let n = 2000;
     let ps = generators::noisy_line(n, 1024, 1 << 14, 2.0, 3);
-    let cfg = PipelineConfig {
-        xi: 0.7,
-        threads: 8,
-        ..Default::default()
-    };
+    let cfg = PipelineConfig::builder().xi(0.7).threads(8).build();
     let report = run(&ps, &cfg).expect("pipeline at scale");
     assert!(report.jl_applied);
     assert!(report.rounds <= 12, "rounds {}", report.rounds);
