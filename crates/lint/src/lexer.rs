@@ -1,0 +1,392 @@
+//! A small Rust lexer, sufficient for token-pattern linting.
+//!
+//! Produces a stream of significant tokens (identifiers/keywords,
+//! punctuation with `::`/`=>`/`->` merged, literals) plus the line
+//! comments, which carry `lint:allow(...)` directives. It understands
+//! every Rust construct that could otherwise make a naive scanner
+//! misfire inside non-code text: line and nested block comments, string
+//! and byte-string literals with escapes, raw strings with arbitrary
+//! `#` fences, char literals versus lifetimes.
+//!
+//! It deliberately does **not** parse: the rule engine works on token
+//! patterns (e.g. `Instant :: now`), which is exactly as much syntax as
+//! the repo invariants need.
+
+/// Kinds of significant tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Punctuation; `::`, `=>` and `->` arrive as single tokens.
+    Punct,
+    /// String or byte-string literal (text includes the quotes).
+    Str,
+    /// Char literal.
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Lifetime (`'a`), including the quote.
+    Lifetime,
+}
+
+/// One significant token with its source position (1-based).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: usize,
+    pub col: usize,
+}
+
+/// One `//` comment (block comments are skipped — only line comments
+/// may carry lint directives).
+#[derive(Debug, Clone)]
+pub struct LineComment {
+    /// Comment text after the `//`.
+    pub text: String,
+    pub line: usize,
+    /// True when source code precedes the comment on its line (a
+    /// trailing comment annotates its own line rather than the next).
+    pub trailing: bool,
+}
+
+/// Lexed file: tokens plus line comments.
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<LineComment>,
+}
+
+/// Tokenizes `src`. Unterminated literals/comments end the scan early
+/// rather than erroring: a file in that state will not compile anyway,
+/// and the linter must never panic on input.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut col = 1usize;
+    // Whether any significant token has appeared on the current line
+    // (classifies comments as trailing or leading).
+    let mut code_on_line = false;
+
+    macro_rules! advance {
+        ($n:expr) => {{
+            for _ in 0..$n {
+                if i < b.len() {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        col = 1;
+                        code_on_line = false;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+        }};
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            advance!(1);
+            continue;
+        }
+        // Line comment.
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            let start = i + 2;
+            let mut end = start;
+            while end < b.len() && b[end] != b'\n' {
+                end += 1;
+            }
+            comments.push(LineComment {
+                text: String::from_utf8_lossy(&b[start..end]).into_owned(),
+                line,
+                trailing: code_on_line,
+            });
+            advance!(end - i);
+            continue;
+        }
+        // Block comment (nested).
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            let mut depth = 1usize;
+            advance!(2);
+            while i < b.len() && depth > 0 {
+                if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    depth += 1;
+                    advance!(2);
+                } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    depth -= 1;
+                    advance!(2);
+                } else {
+                    advance!(1);
+                }
+            }
+            continue;
+        }
+        // Raw strings: r"..." / r#"..."# / br"..." etc.
+        let (raw_prefix, hash_at) = if c == b'r' && i + 1 < b.len() {
+            (1usize, i + 1)
+        } else if (c == b'b' || c == b'c') && i + 2 < b.len() && b[i + 1] == b'r' {
+            (2usize, i + 2)
+        } else {
+            (0, 0)
+        };
+        if raw_prefix > 0 {
+            let mut h = hash_at;
+            while h < b.len() && b[h] == b'#' {
+                h += 1;
+            }
+            if h < b.len() && b[h] == b'"' {
+                let fences = h - hash_at;
+                let (tline, tcol) = (line, col);
+                let body_start = i;
+                // Scan for `"` followed by `fences` hashes.
+                let mut j = h + 1;
+                loop {
+                    if j >= b.len() {
+                        break;
+                    }
+                    if b[j] == b'"'
+                        && b.len() >= j + 1 + fences
+                        && b[j + 1..j + 1 + fences].iter().all(|&x| x == b'#')
+                    {
+                        j += 1 + fences;
+                        break;
+                    }
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::from_utf8_lossy(&b[body_start..j]).into_owned(),
+                    line: tline,
+                    col: tcol,
+                });
+                code_on_line = true;
+                advance!(j - i);
+                continue;
+            }
+        }
+        // Plain/byte strings.
+        if c == b'"' || ((c == b'b' || c == b'c') && i + 1 < b.len() && b[i + 1] == b'"') {
+            let (tline, tcol) = (line, col);
+            let start = i;
+            let mut j = if c == b'"' { i + 1 } else { i + 2 };
+            while j < b.len() {
+                if b[j] == b'\\' {
+                    j += 2;
+                    continue;
+                }
+                if b[j] == b'"' {
+                    j += 1;
+                    break;
+                }
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text: String::from_utf8_lossy(&b[start..j.min(b.len())]).into_owned(),
+                line: tline,
+                col: tcol,
+            });
+            code_on_line = true;
+            advance!(j.min(b.len()) - i);
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == b'\'' {
+            let (tline, tcol) = (line, col);
+            let next = b.get(i + 1).copied();
+            let is_lifetime = match next {
+                Some(n) if n == b'_' || n.is_ascii_alphabetic() => {
+                    // 'a followed by another quote is the char 'a';
+                    // otherwise a lifetime (or the `'static` keyword).
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                        j += 1;
+                    }
+                    !(j < b.len() && b[j] == b'\'')
+                }
+                _ => false,
+            };
+            if is_lifetime {
+                let mut j = i + 1;
+                while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: String::from_utf8_lossy(&b[i..j]).into_owned(),
+                    line: tline,
+                    col: tcol,
+                });
+                code_on_line = true;
+                advance!(j - i);
+            } else {
+                // Char literal: 'x', '\n', '\'', '\u{..}'.
+                let mut j = i + 1;
+                while j < b.len() {
+                    if b[j] == b'\\' {
+                        j += 2;
+                        continue;
+                    }
+                    if b[j] == b'\'' {
+                        j += 1;
+                        break;
+                    }
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Char,
+                    text: String::from_utf8_lossy(&b[i..j.min(b.len())]).into_owned(),
+                    line: tline,
+                    col: tcol,
+                });
+                code_on_line = true;
+                advance!(j.min(b.len()) - i);
+            }
+            continue;
+        }
+        // Identifiers / keywords.
+        if c == b'_' || c.is_ascii_alphabetic() {
+            let (tline, tcol) = (line, col);
+            let mut j = i;
+            while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                j += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: String::from_utf8_lossy(&b[i..j]).into_owned(),
+                line: tline,
+                col: tcol,
+            });
+            code_on_line = true;
+            advance!(j - i);
+            continue;
+        }
+        // Numbers (digits, then trailing alphanumerics/underscores for
+        // suffixes and hex; a `.` joins only when followed by a digit,
+        // so `0..n` stays three tokens).
+        if c.is_ascii_digit() {
+            let (tline, tcol) = (line, col);
+            let mut j = i;
+            while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                j += 1;
+            }
+            if j < b.len() && b[j] == b'.' && j + 1 < b.len() && b[j + 1].is_ascii_digit() {
+                j += 1;
+                while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                    j += 1;
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Num,
+                text: String::from_utf8_lossy(&b[i..j]).into_owned(),
+                line: tline,
+                col: tcol,
+            });
+            code_on_line = true;
+            advance!(j - i);
+            continue;
+        }
+        // Punctuation; merge the pairs the rule engine matches on.
+        let (tline, tcol) = (line, col);
+        let pair = if i + 1 < b.len() {
+            &b[i..i + 2]
+        } else {
+            &b[i..i + 1]
+        };
+        let merged = matches!(pair, b"::" | b"=>" | b"->");
+        let len = if merged { 2 } else { 1 };
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            text: String::from_utf8_lossy(&b[i..i + len]).into_owned(),
+            line: tline,
+            col: tcol,
+        });
+        code_on_line = true;
+        advance!(len);
+    }
+
+    Lexed { toks, comments }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).toks.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn merges_path_separators() {
+        assert_eq!(
+            texts("Instant::now()"),
+            vec!["Instant", "::", "now", "(", ")"]
+        );
+    }
+
+    #[test]
+    fn comments_do_not_produce_tokens() {
+        let l = lex("a // hi\n/* b */ c");
+        assert_eq!(
+            l.toks.iter().map(|t| t.text.as_str()).collect::<Vec<_>>(),
+            vec!["a", "c"]
+        );
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].trailing);
+        assert_eq!(l.comments[0].text, " hi");
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let l = lex(r#"let s = "Instant::now // not a comment";"#);
+        assert!(l.comments.is_empty());
+        assert!(l.toks.iter().all(|t| t.text != "Instant"));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let l = lex(r###"let s = r#"quote " inside"#; after"###);
+        assert_eq!(l.toks.last().unwrap().text, "after");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        let chars = l.toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn line_numbers_are_accurate() {
+        let l = lex("a\nb\n  c");
+        assert_eq!(l.toks[2].line, 3);
+        assert_eq!(l.toks[2].col, 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("before /* outer /* inner */ still */ after");
+        assert_eq!(
+            l.toks.iter().map(|t| t.text.as_str()).collect::<Vec<_>>(),
+            vec!["before", "after"]
+        );
+    }
+
+    #[test]
+    fn ranges_stay_separate_tokens() {
+        assert_eq!(texts("0..n"), vec!["0", ".", ".", "n"]);
+        assert_eq!(texts("1.5e3"), vec!["1.5e3"]);
+    }
+}

@@ -1,0 +1,72 @@
+//! CLI for the repo-invariant linter.
+//!
+//! ```text
+//! cargo run -p treeemb-lint                # lint the workspace, exit 1 on any deny
+//! cargo run -p treeemb-lint -- --list-rules
+//! cargo run -p treeemb-lint -- path/to/ws  # explicit workspace root
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use treeemb_lint::{lint_workspace, RULES};
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--list-rules" => {
+                for r in RULES {
+                    println!("{:16} {}", r.id, r.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("usage: treeemb-lint [--list-rules] [workspace-root]");
+                println!();
+                println!("Denies violations of the repo invariants (determinism, centralized");
+                println!("threading/config/env handling). Audited exceptions are annotated in");
+                println!("place: // lint:allow(<rule>): <reason>");
+                return ExitCode::SUCCESS;
+            }
+            other if root.is_none() && !other.starts_with('-') => {
+                root = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Default to the workspace root this binary was built from, so
+    // `cargo run -p treeemb-lint` works from any cwd.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(|p| p.parent())
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."))
+    });
+
+    let diags = match lint_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("treeemb-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if diags.is_empty() {
+        println!("treeemb-lint: clean ({} rules enforced)", RULES.len());
+        return ExitCode::SUCCESS;
+    }
+    for d in &diags {
+        eprintln!("{d}");
+    }
+    eprintln!();
+    eprintln!(
+        "treeemb-lint: {} deny diagnostic(s). Audited exceptions use \
+         `// lint:allow(<rule>): <reason>` on or above the offending line.",
+        diags.len()
+    );
+    ExitCode::FAILURE
+}

@@ -1,0 +1,24 @@
+// lint-fixture: crates/mpc/src/violations.rs
+// The escape hatch polices itself: unknown rule ids and allows that
+// suppress nothing are deny diagnostics in their own right, and an
+// allow without a reason does not suppress.
+
+// lint:allow(wall-clok): typo in the rule id. //~ DENY unknown-rule
+fn typo_target() {
+    let _x = 1;
+}
+
+// lint:allow(wall-clock): nothing on the next line reads a clock. //~ DENY unused-allow
+fn stale_target() {
+    let _x = 2;
+}
+
+fn reasonless() {
+    // lint:allow(wall-clock) //~ DENY unused-allow
+    let _t = Instant::now(); //~ DENY wall-clock
+}
+
+fn correct() {
+    // lint:allow(wall-clock): phase metering; outputs unaffected.
+    let _t = Instant::now();
+}

@@ -1,0 +1,15 @@
+// lint-fixture: crates/hst/src/violations.rs
+// Ambient entropy sources are denied in the deterministic core; seeded
+// generators are the sanctioned path.
+
+fn entropy() {
+    let mut rng = thread_rng(); //~ DENY ambient-rand
+    let x: u64 = rand::random(); //~ DENY ambient-rand
+    let r2 = SmallRng::from_entropy(); //~ DENY ambient-rand
+    let _ = (rng.next_u64(), x, r2);
+}
+
+fn seeded_ok(seed: u64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let _ = rng.next_u64();
+}

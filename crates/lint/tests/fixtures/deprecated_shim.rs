@@ -1,0 +1,26 @@
+// lint-fixture: crates/apps/src/violations.rs
+// The deprecated construction/mutation shims were deleted; the lint
+// keeps them from coming back — even in test code.
+
+fn resurrect() {
+    let mut rt = Runtime::new(cfg()); //~ DENY deprecated-shim
+    rt.set_fault_plan(plan()); //~ DENY deprecated-shim
+    rt.clear_fault_plan(); //~ DENY deprecated-shim
+}
+
+fn sanctioned() {
+    let _rt = Runtime::builder()
+        .input_words(64)
+        .machines(4)
+        .fault_plan(plan())
+        .build();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn also_denied_in_tests() {
+        let rt = Runtime::new(cfg()); //~ DENY deprecated-shim
+        let _ = rt;
+    }
+}

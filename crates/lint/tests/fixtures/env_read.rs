@@ -1,0 +1,19 @@
+// lint-fixture: crates/linalg/src/violations.rs
+// TREEEMB_* environment variables are parsed exactly once, in
+// treeemb_mpc::config::from_env; scattered reads are denied. Non-repo
+// variables are not this lint's business.
+
+fn scattered_overrides() {
+    let t = std::env::var("TREEEMB_THREADS"); //~ DENY env-read
+    let u = env::var_os("TREEEMB_CAPACITY_WORDS"); //~ DENY env-read
+    let _ = (t, u);
+}
+
+fn foreign_vars_ok() {
+    let _ = std::env::var("PATH");
+    let _ = std::env::var("RUST_LOG");
+}
+
+fn sanctioned() -> treeemb_mpc::EnvOverrides {
+    treeemb_mpc::from_env()
+}

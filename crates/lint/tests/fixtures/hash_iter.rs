@@ -1,0 +1,37 @@
+// lint-fixture: crates/core/src/violations.rs
+// Iterating hash containers in the deterministic core is denied
+// (bucket order is unspecified); lookups and sorted materialization
+// are fine, as is BTreeMap iteration.
+
+fn iterate(m: &HashMap<u64, u64>) {
+    for k in m.keys() { //~ DENY hash-iter
+        black_box(k);
+    }
+    let vs: Vec<_> = m.values().collect(); //~ DENY hash-iter
+    black_box(vs);
+}
+
+fn iterate_set() {
+    let mut s: HashSet<u32> = HashSet::new();
+    s.insert(3);
+    for x in &s { //~ DENY hash-iter
+        black_box(x);
+    }
+}
+
+fn lookups_ok(m: &mut HashMap<u64, u64>) {
+    m.insert(1, 2);
+    let _ = m.get(&1);
+    m.entry(3).or_insert(4);
+}
+
+fn ordered_ok(b: &BTreeMap<u64, u64>) {
+    for k in b.keys() {
+        black_box(k);
+    }
+}
+
+fn audited(m: &HashMap<u64, u64>) -> u64 {
+    // lint:allow(hash-iter): order-insensitive reduction (sum).
+    m.values().sum()
+}

@@ -1,0 +1,23 @@
+// lint-fixture: crates/partition/src/violations.rs
+// Wall-clock reads in the deterministic core are denied; annotated and
+// test-module reads are not.
+
+fn timing() {
+    let t0 = Instant::now(); //~ DENY wall-clock
+    let t1 = std::time::SystemTime::now(); //~ DENY wall-clock
+    let epoch = SystemTime::UNIX_EPOCH; //~ DENY wall-clock
+    let _ = (t0, t1, epoch);
+}
+
+fn audited() {
+    // lint:allow(wall-clock): metering only; outputs never see this.
+    let _t = Instant::now();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let _t = Instant::now();
+    }
+}

@@ -1,0 +1,196 @@
+//! UI-style fixture tests for the repo-invariant linter, plus
+//! end-to-end checks of the `treeemb-lint` binary's exit codes.
+//!
+//! Each file in `tests/fixtures/` is a self-contained violation
+//! showcase. Its first line, `// lint-fixture: <pretend-path>`, sets
+//! the workspace-relative path the file is linted *as* (which selects
+//! the applicable rule scopes), and every line expected to produce a
+//! diagnostic carries a trailing `//~ DENY <rule-id>` marker. The test
+//! asserts the exact (line, rule) multiset both ways: every marker must
+//! fire and nothing unmarked may fire.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use treeemb_lint::lint_source;
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap()
+        .to_path_buf()
+}
+
+/// (line, rule) pairs, as a multiset.
+type Findings = BTreeMap<(usize, String), usize>;
+
+fn expected_markers(src: &str) -> Findings {
+    let mut out = Findings::new();
+    for (i, line) in src.lines().enumerate() {
+        let mut rest = line;
+        while let Some(pos) = rest.find("//~ DENY ") {
+            let tail = &rest[pos + "//~ DENY ".len()..];
+            let rule: String = tail
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '-')
+                .collect();
+            assert!(!rule.is_empty(), "malformed marker on line {}", i + 1);
+            *out.entry((i + 1, rule)).or_default() += 1;
+            rest = tail;
+        }
+    }
+    out
+}
+
+fn check_fixture(name: &str) {
+    let path = fixtures_dir().join(name);
+    let src = std::fs::read_to_string(&path).unwrap();
+    let first = src.lines().next().unwrap_or_default();
+    let pretend = first
+        .strip_prefix("// lint-fixture: ")
+        .unwrap_or_else(|| panic!("{name}: first line must be `// lint-fixture: <path>`"))
+        .trim();
+
+    let expected = expected_markers(&src);
+    let mut actual = Findings::new();
+    for d in lint_source(pretend, &src) {
+        *actual.entry((d.line, d.rule.to_string())).or_default() += 1;
+    }
+    assert_eq!(
+        actual, expected,
+        "{name}: diagnostics (left) diverge from //~ DENY markers (right)"
+    );
+}
+
+#[test]
+fn fixture_wall_clock() {
+    check_fixture("wall_clock.rs");
+}
+
+#[test]
+fn fixture_ambient_rand() {
+    check_fixture("ambient_rand.rs");
+}
+
+#[test]
+fn fixture_hash_iter() {
+    check_fixture("hash_iter.rs");
+}
+
+#[test]
+fn fixture_thread_spawn() {
+    check_fixture("thread_spawn.rs");
+}
+
+#[test]
+fn fixture_deprecated_shim() {
+    check_fixture("deprecated_shim.rs");
+}
+
+#[test]
+fn fixture_config_literal() {
+    check_fixture("config_literal.rs");
+}
+
+#[test]
+fn fixture_env_read() {
+    check_fixture("env_read.rs");
+}
+
+#[test]
+fn fixture_allow_hygiene() {
+    check_fixture("allow_hygiene.rs");
+}
+
+#[test]
+fn every_fixture_has_a_test_and_markers() {
+    // Guards against a fixture being added but never wired to a test:
+    // each .rs fixture must parse as a fixture and carry ≥1 marker or
+    // be an explicitly-clean showcase (none currently).
+    let mut seen = 0;
+    for entry in std::fs::read_dir(fixtures_dir()).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "rs") {
+            let src = std::fs::read_to_string(&path).unwrap();
+            assert!(
+                src.starts_with("// lint-fixture: "),
+                "{path:?} missing pretend-path header"
+            );
+            seen += 1;
+        }
+    }
+    assert_eq!(seen, 8, "fixture count drifted; update the ui tests");
+}
+
+/// The shipped binary must exit 0 on the real workspace: the tree stays
+/// lint-clean, with audited exceptions annotated in place.
+#[test]
+fn binary_exits_zero_on_workspace() {
+    let out = Command::new(env!("CARGO_BIN_EXE_treeemb-lint"))
+        .arg(workspace_root())
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "workspace has lint violations:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// And it must exit nonzero when pointed at a tree seeded with a
+/// violation (built under target/tmp so nothing pollutes the repo).
+#[test]
+fn binary_exits_nonzero_on_seeded_violation() {
+    let seed_root = Path::new(env!("CARGO_TARGET_TMPDIR")).join("seeded-ws");
+    let src_dir = seed_root.join("crates/partition/src");
+    std::fs::create_dir_all(&src_dir).unwrap();
+    std::fs::write(
+        src_dir.join("bad.rs"),
+        "pub fn t() -> std::time::Instant { Instant::now() }\n",
+    )
+    .unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_treeemb-lint"))
+        .arg(&seed_root)
+        .output()
+        .unwrap();
+    assert!(
+        !out.status.success(),
+        "seeded wall-clock violation was not denied"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("deny(wall-clock)"),
+        "unexpected diagnostics:\n{stderr}"
+    );
+    assert!(stderr.contains("crates/partition/src/bad.rs:1:"));
+}
+
+/// `--list-rules` names every rule and exits 0.
+#[test]
+fn binary_lists_rules() {
+    let out = Command::new(env!("CARGO_BIN_EXE_treeemb-lint"))
+        .arg("--list-rules")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in [
+        "wall-clock",
+        "ambient-rand",
+        "hash-iter",
+        "thread-spawn",
+        "deprecated-shim",
+        "config-literal",
+        "env-read",
+    ] {
+        assert!(stdout.contains(rule), "--list-rules missing {rule}");
+    }
+}

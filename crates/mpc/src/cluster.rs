@@ -153,12 +153,6 @@ impl Runtime {
         }
     }
 
-    /// Creates a runtime for the given configuration.
-    #[deprecated(note = "construct through Runtime::builder() (optionally .config(cfg))")]
-    pub fn new(cfg: MpcConfig) -> Self {
-        Self::assemble(cfg, None, CheckpointPolicy::default())
-    }
-
     /// The active configuration.
     pub fn config(&self) -> &MpcConfig {
         &self.cfg
@@ -218,24 +212,6 @@ impl Runtime {
     /// Clears accumulated metrics (e.g. between pipeline stages).
     pub fn reset_metrics(&mut self) {
         self.metrics = Metrics::new();
-    }
-
-    /// Attaches a deterministic fault plan. Subsequent rounds consult it
-    /// at every decision point; injected faults are appended to
-    /// [`Runtime::fault_log`] and recorded as `fault.*` marks in the
-    /// active trace.
-    #[deprecated(note = "attach at construction: Runtime::builder().fault_plan(plan)")]
-    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
-        self.faults = Some(Box::new(FaultState {
-            plan,
-            log: Vec::new(),
-        }));
-    }
-
-    /// Detaches any fault plan (keeps metrics).
-    #[deprecated(note = "build a separate fault-free runtime instead of mutating this one")]
-    pub fn clear_fault_plan(&mut self) {
-        self.faults = None;
     }
 
     /// The attached fault plan, if any.
@@ -1319,18 +1295,6 @@ mod tests {
         let stats = &rt.metrics().round_stats()[0];
         assert_eq!(stats.checkpoint_words, 8);
         assert_eq!(stats.recoveries, 0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_work() {
-        let mut rt = Runtime::new(MpcConfig::explicit(64, 16, 2).with_threads(2));
-        rt.set_fault_plan(FaultPlan::new(3));
-        assert!(rt.fault_plan().is_some());
-        rt.clear_fault_plan();
-        assert!(rt.fault_plan().is_none());
-        let dist = rt.distribute(vec![1u64, 2, 3]).unwrap();
-        assert_eq!(rt.gather(dist), vec![1, 2, 3]);
     }
 
     #[test]

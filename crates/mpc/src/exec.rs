@@ -28,12 +28,18 @@
 //! Nested calls (a round closure invoking the executor again) run the
 //! inner call sequentially: the pool executes one job at a time and
 //! re-entry from a participant would otherwise self-deadlock.
+//!
+//! Verification: the epoch/cursor handshake lives in [`protocol`],
+//! which builds on `crate::sync` so the loom suite
+//! (`RUSTFLAGS="--cfg loom" cargo test -p treeemb-mpc --test loom_exec`)
+//! model-checks the exact shipped code for data races, lost wakeups,
+//! and exactly-once chunk delivery; the nightly Miri/ThreadSanitizer CI
+//! jobs cover the raw-pointer side of the job descriptors.
 
-use std::any::Any;
 use std::mem::MaybeUninit;
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::panic::resume_unwind;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use std::time::Instant;
 
 /// Upper bound on pool threads; `threads` arguments beyond
@@ -119,7 +125,7 @@ impl ExecStats {
 
 /// Snapshots the executor's cumulative counters.
 pub fn stats() -> ExecStats {
-    let spawned = pool().state.lock().expect("executor pool poisoned").spawned;
+    let spawned = pool().core.spawned();
     ExecStats {
         jobs: COUNTERS.jobs.load(Ordering::Relaxed),
         sequential_jobs: COUNTERS.sequential_jobs.load(Ordering::Relaxed),
@@ -174,10 +180,6 @@ fn publish_trace_counters() {
     );
 }
 
-/// Cursor chunks handed out per participant (on average); >1 so uneven
-/// per-item costs still balance, small enough to keep claims rare.
-const CHUNKS_PER_PARTICIPANT: usize = 8;
-
 thread_local! {
     /// True while this thread is executing inside a pool job (either as a
     /// pool worker or as the publishing caller).
@@ -187,6 +189,240 @@ thread_local! {
 fn in_executor() -> bool {
     IN_EXECUTOR.with(std::cell::Cell::get)
 }
+
+pub mod protocol {
+    //! The executor's synchronization core, factored out of the
+    //! instrumented pool so it can be **model-checked**: these types
+    //! build exclusively on `crate::sync`, whose primitives become
+    //! loom schedule points under `--cfg loom`. The loom suite
+    //! (`crates/mpc/tests/loom_exec.rs`) exhaustively explores bounded
+    //! interleavings of exactly this code — job publication and the
+    //! epoch handshake ([`PoolCore`]), the chunk-claim cursor and
+    //! admission tickets ([`JobCore`]) — checking exactly-once chunk
+    //! delivery, absence of lost wakeups on the two condvars, and clean
+    //! drain/close termination.
+    //!
+    //! In a non-loom build `crate::sync` re-exports the `std` types, so
+    //! the shipped executor runs this very code with zero abstraction
+    //! cost.
+
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    use crate::sync::{AtomicUsize, Condvar, Mutex, Ordering};
+
+    /// Cursor chunks handed out per participant (on average); >1 so
+    /// uneven per-item costs still balance, small enough to keep claims
+    /// rare.
+    const CHUNKS_PER_PARTICIPANT: usize = 8;
+
+    struct PoolState<J> {
+        /// The currently published job, if any. Cleared by the caller
+        /// before it waits for stragglers, so late-waking workers skip
+        /// it.
+        job: Option<J>,
+        /// Bumped once per published job; workers use it to tell a
+        /// fresh job from one they already served.
+        epoch: u64,
+        /// Workers currently inside a job's entry point.
+        running: usize,
+        /// Worker threads spawned so far (bookkeeping for the owning
+        /// pool; the protocol itself never spawns).
+        spawned: usize,
+        /// Set by [`PoolCore::close`]: workers drain out of
+        /// [`PoolCore::serve`] with `None`.
+        closing: bool,
+    }
+
+    /// Publication/drain handshake of the persistent worker pool,
+    /// generic over the job payload so the loom suite can drive it with
+    /// plain values instead of type-erased pointers.
+    pub struct PoolCore<J: Copy> {
+        state: Mutex<PoolState<J>>,
+        /// Signals workers that a new job was published (or the pool is
+        /// closing).
+        work_cv: Condvar,
+        /// Signals the caller (and queued callers) that the pool
+        /// drained.
+        idle_cv: Condvar,
+    }
+
+    impl<J: Copy> Default for PoolCore<J> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<J: Copy> PoolCore<J> {
+        /// An empty, open pool with no job published.
+        pub fn new() -> Self {
+            Self {
+                state: Mutex::new(PoolState {
+                    job: None,
+                    epoch: 0,
+                    running: 0,
+                    spawned: 0,
+                    closing: false,
+                }),
+                work_cv: Condvar::new(),
+                idle_cv: Condvar::new(),
+            }
+        }
+
+        /// Reserves worker slots up to `target`, returning the range of
+        /// slot indices the caller must actually spawn (empty when the
+        /// pool already reached `target`).
+        pub fn reserve_workers(&self, target: usize) -> std::ops::Range<usize> {
+            let mut st = self.state.lock().expect("executor pool poisoned");
+            let from = st.spawned;
+            st.spawned = st.spawned.max(target);
+            from..st.spawned
+        }
+
+        /// Worker threads spawned so far.
+        pub fn spawned(&self) -> usize {
+            self.state.lock().expect("executor pool poisoned").spawned
+        }
+
+        /// Publishes `job` to the workers, queueing behind any in-flight
+        /// publication (one job at a time).
+        pub fn publish(&self, job: J) {
+            let mut st = self.state.lock().expect("executor pool poisoned");
+            while st.job.is_some() || st.running > 0 {
+                st = self.idle_cv.wait(st).expect("executor pool poisoned");
+            }
+            st.job = Some(job);
+            st.epoch += 1;
+            drop(st);
+            self.work_cv.notify_all();
+        }
+
+        /// Caller-side completion barrier: retires the published job,
+        /// waits until every worker that joined it has left, and wakes
+        /// any queued publisher.
+        pub fn drain(&self) {
+            let mut st = self.state.lock().expect("executor pool poisoned");
+            st.job = None;
+            while st.running > 0 {
+                st = self.idle_cv.wait(st).expect("executor pool poisoned");
+            }
+            drop(st);
+            // Wake any caller queued on `idle_cv` waiting to publish.
+            self.idle_cv.notify_all();
+        }
+
+        /// Worker-side: blocks until a job this worker has not yet
+        /// served is published, joins it, and returns it together with
+        /// the number of workers now inside the job (a saturation
+        /// gauge). Returns `None` once the pool is closing.
+        pub fn serve(&self, seen_epoch: &mut u64) -> Option<(J, usize)> {
+            let mut st = self.state.lock().expect("executor pool poisoned");
+            loop {
+                if st.closing {
+                    return None;
+                }
+                if st.epoch != *seen_epoch {
+                    *seen_epoch = st.epoch;
+                    if let Some(job) = st.job {
+                        st.running += 1;
+                        return Some((job, st.running));
+                    }
+                }
+                st = self.work_cv.wait(st).expect("executor pool poisoned");
+            }
+        }
+
+        /// Worker-side: marks a served job complete; the last worker out
+        /// wakes the draining caller.
+        pub fn complete(&self) {
+            let mut st = self.state.lock().expect("executor pool poisoned");
+            st.running -= 1;
+            if st.running == 0 {
+                drop(st);
+                self.idle_cv.notify_all();
+            }
+        }
+
+        /// Closes the pool: every worker parked in (or arriving at)
+        /// [`PoolCore::serve`] returns `None`. The production pool never
+        /// closes (workers persist for the process lifetime); tests and
+        /// the loom models use this for clean join-based shutdown.
+        pub fn close(&self) {
+            let mut st = self.state.lock().expect("executor pool poisoned");
+            st.closing = true;
+            drop(st);
+            self.work_cv.notify_all();
+        }
+    }
+
+    /// Shared scheduling core of a job descriptor: chunk claiming,
+    /// admission tickets, and first-panic capture.
+    pub struct JobCore {
+        n: usize,
+        chunk: usize,
+        cursor: AtomicUsize,
+        /// Admission tickets, one per allowed participant (including the
+        /// caller); surplus pool workers bow out without touching items.
+        tickets: AtomicUsize,
+        panic: Mutex<Option<Box<dyn Any + Send>>>,
+    }
+
+    impl JobCore {
+        /// A job over `n` items shared by at most `participants`
+        /// threads.
+        pub fn new(n: usize, participants: usize) -> Self {
+            Self {
+                n,
+                chunk: (n / (participants * CHUNKS_PER_PARTICIPANT)).max(1),
+                cursor: AtomicUsize::new(0),
+                tickets: AtomicUsize::new(participants),
+                panic: Mutex::new(None),
+            }
+        }
+
+        /// Claims an admission ticket; a `false` return means the job is
+        /// fully subscribed and this thread must not touch any item.
+        pub fn take_ticket(&self) -> bool {
+            self.tickets
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |t| t.checked_sub(1))
+                .is_ok()
+        }
+
+        /// Claims chunks and feeds their index ranges to `work` until
+        /// the items run out; on panic, halts all participants and
+        /// records the first payload. Returns the number of chunk claims
+        /// this participant served.
+        pub fn drive(&self, work: impl Fn(usize, usize)) -> u64 {
+            let mut claims = 0u64;
+            let result = catch_unwind(AssertUnwindSafe(|| loop {
+                let start = self.cursor.fetch_add(self.chunk, Ordering::Relaxed);
+                if start >= self.n {
+                    break;
+                }
+                claims += 1;
+                work(start, (start + self.chunk).min(self.n));
+            }));
+            if let Err(payload) = result {
+                // Park the cursor past the end so other participants
+                // stop at their next claim.
+                self.cursor.store(self.n, Ordering::Relaxed);
+                let mut slot = self.panic.lock().expect("panic slot poisoned");
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            claims
+        }
+
+        /// The first panic payload captured by [`JobCore::drive`], if
+        /// any.
+        pub fn into_panic(self) -> Option<Box<dyn Any + Send>> {
+            self.panic.into_inner().expect("panic slot poisoned")
+        }
+    }
+}
+
+use protocol::{JobCore, PoolCore};
 
 /// Type-erased pointer to a job descriptor living on the caller's stack,
 /// plus the monomorphized entry point that interprets it.
@@ -201,64 +437,34 @@ struct Job {
 // is atomics, mutexes, and `Sync` closures.
 unsafe impl Send for Job {}
 
-struct PoolState {
-    /// The currently published job, if any. Cleared by the caller before
-    /// it waits for stragglers, so late-waking workers skip it.
-    job: Option<Job>,
-    /// Bumped once per published job; workers use it to tell a fresh job
-    /// from one they already served.
-    epoch: u64,
-    /// Workers currently inside a job's entry point.
-    running: usize,
-    /// Worker threads spawned so far.
-    spawned: usize,
-}
-
 struct Pool {
-    state: Mutex<PoolState>,
-    /// Signals workers that a new job was published.
-    work_cv: Condvar,
-    /// Signals the caller (and queued callers) that the pool drained.
-    idle_cv: Condvar,
+    core: PoolCore<Job>,
 }
 
 fn pool() -> &'static Pool {
     static POOL: OnceLock<Pool> = OnceLock::new();
     POOL.get_or_init(|| Pool {
-        state: Mutex::new(PoolState {
-            job: None,
-            epoch: 0,
-            running: 0,
-            spawned: 0,
-        }),
-        work_cv: Condvar::new(),
-        idle_cv: Condvar::new(),
+        core: PoolCore::new(),
     })
 }
 
 fn worker_loop(pool: &'static Pool, slot: usize) {
     let mut seen_epoch = 0u64;
     loop {
+        // lint:allow(wall-clock): worker idle/busy metering feeds the
+        // utilization counters only; round outputs never see these
+        // values.
         let wait_start = Instant::now();
-        let job = {
-            let mut st = pool.state.lock().expect("executor pool poisoned");
-            loop {
-                if st.epoch != seen_epoch {
-                    seen_epoch = st.epoch;
-                    if let Some(job) = st.job {
-                        st.running += 1;
-                        COUNTERS
-                            .max_running
-                            .fetch_max(st.running as u64, Ordering::Relaxed);
-                        break job;
-                    }
-                }
-                st = pool.work_cv.wait(st).expect("executor pool poisoned");
-            }
+        let Some((job, running)) = pool.core.serve(&mut seen_epoch) else {
+            return;
         };
+        COUNTERS
+            .max_running
+            .fetch_max(running as u64, Ordering::Relaxed);
         COUNTERS.worker_idle_ns[slot]
             .fetch_add(wait_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         IN_EXECUTOR.with(|f| f.set(true));
+        // lint:allow(wall-clock): as above — instrumentation only.
         let busy_start = Instant::now();
         // SAFETY: the caller keeps the descriptor alive until `running`
         // returns to zero, which cannot happen before this call returns.
@@ -266,11 +472,7 @@ fn worker_loop(pool: &'static Pool, slot: usize) {
         COUNTERS.worker_busy_ns[slot]
             .fetch_add(busy_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         IN_EXECUTOR.with(|f| f.set(false));
-        let mut st = pool.state.lock().expect("executor pool poisoned");
-        st.running -= 1;
-        if st.running == 0 {
-            pool.idle_cv.notify_all();
-        }
+        pool.core.complete();
     }
 }
 
@@ -279,26 +481,18 @@ impl Pool {
     /// returns once every participant is done. `helpers` is the number of
     /// pool workers that should join in addition to the caller.
     fn run(&'static self, helpers: usize, job: Job) {
-        let helpers = helpers.min(MAX_WORKERS);
-        {
-            let mut st = self.state.lock().expect("executor pool poisoned");
-            // One job at a time: queue behind any in-flight publication.
-            while st.job.is_some() || st.running > 0 {
-                st = self.idle_cv.wait(st).expect("executor pool poisoned");
-            }
-            while st.spawned < helpers {
-                let slot = st.spawned;
-                std::thread::Builder::new()
-                    .name(format!("treeemb-exec-{slot}"))
-                    .spawn(move || worker_loop(self, slot))
-                    .expect("spawn executor worker");
-                st.spawned += 1;
-            }
-            st.job = Some(job);
-            st.epoch += 1;
+        for slot in self.core.reserve_workers(helpers.min(MAX_WORKERS)) {
+            // lint:allow(thread-spawn): this IS mpc::exec — the one
+            // sanctioned spawn site in the workspace.
+            std::thread::Builder::new()
+                .name(format!("treeemb-exec-{slot}"))
+                .spawn(move || worker_loop(pool(), slot))
+                .expect("spawn executor worker");
         }
-        self.work_cv.notify_all();
+        self.core.publish(job);
         IN_EXECUTOR.with(|f| f.set(true));
+        // lint:allow(wall-clock): caller-participation metering feeds
+        // the utilization counters only.
         let busy_start = Instant::now();
         // SAFETY: the descriptor is on our own stack and stays valid
         // until the drain below completes.
@@ -307,75 +501,7 @@ impl Pool {
             .caller_busy_ns
             .fetch_add(busy_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         IN_EXECUTOR.with(|f| f.set(false));
-        let mut st = self.state.lock().expect("executor pool poisoned");
-        st.job = None;
-        while st.running > 0 {
-            st = self.idle_cv.wait(st).expect("executor pool poisoned");
-        }
-        drop(st);
-        // Wake any caller queued on `idle_cv` waiting to publish.
-        self.idle_cv.notify_all();
-    }
-}
-
-/// Shared scheduling core of a job descriptor: chunk claiming, admission
-/// tickets, and first-panic capture.
-struct JobCore {
-    n: usize,
-    chunk: usize,
-    cursor: AtomicUsize,
-    /// Admission tickets, one per allowed participant (including the
-    /// caller); surplus pool workers bow out without touching items.
-    tickets: AtomicUsize,
-    panic: Mutex<Option<Box<dyn Any + Send>>>,
-}
-
-impl JobCore {
-    fn new(n: usize, participants: usize) -> Self {
-        Self {
-            n,
-            chunk: (n / (participants * CHUNKS_PER_PARTICIPANT)).max(1),
-            cursor: AtomicUsize::new(0),
-            tickets: AtomicUsize::new(participants),
-            panic: Mutex::new(None),
-        }
-    }
-
-    fn take_ticket(&self) -> bool {
-        self.tickets
-            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |t| t.checked_sub(1))
-            .is_ok()
-    }
-
-    /// Claims chunks and feeds their index ranges to `work` until the
-    /// items run out; on panic, halts all participants and records the
-    /// first payload.
-    fn drive(&self, work: impl Fn(usize, usize)) {
-        let mut claims = 0u64;
-        let result = catch_unwind(AssertUnwindSafe(|| loop {
-            let start = self.cursor.fetch_add(self.chunk, Ordering::Relaxed);
-            if start >= self.n {
-                break;
-            }
-            claims += 1;
-            work(start, (start + self.chunk).min(self.n));
-        }));
-        if claims > 0 {
-            COUNTERS.chunk_claims.fetch_add(claims, Ordering::Relaxed);
-        }
-        if let Err(payload) = result {
-            // Park the cursor past the end so other participants stop at
-            // their next claim.
-            self.cursor.store(self.n, Ordering::Relaxed);
-            let mut slot = self.panic.lock().expect("panic slot poisoned");
-            if slot.is_none() {
-                *slot = Some(payload);
-            }
-        }
-    }
-
-    fn into_panic(self) -> Option<Box<dyn Any + Send>> {
-        self.panic.into_inner().expect("panic slot poisoned")
+        self.core.drain();
     }
 }
 
@@ -394,7 +520,7 @@ where
     if !job.core.take_ticket() {
         return;
     }
-    job.core.drive(|start, end| {
+    let claims = job.core.drive(|start, end| {
         for i in start..end {
             // SAFETY: the cursor dispenses each index exactly once, so
             // this read moves item `i` out exactly once and the write
@@ -404,6 +530,9 @@ where
             unsafe { (*job.dst.add(i)).write(out) };
         }
     });
+    if claims > 0 {
+        COUNTERS.chunk_claims.fetch_add(claims, Ordering::Relaxed);
+    }
 }
 
 /// Applies `f` to every `(index, item)` pair, running up to `threads`
@@ -481,7 +610,7 @@ where
     if !job.core.take_ticket() {
         return;
     }
-    job.core.drive(|start, end| {
+    let claims = job.core.drive(|start, end| {
         for i in start..end {
             // SAFETY: the cursor dispenses each index exactly once, so no
             // two participants alias the same element.
@@ -489,6 +618,9 @@ where
             (job.f)(i, item);
         }
     });
+    if claims > 0 {
+        COUNTERS.chunk_claims.fetch_add(claims, Ordering::Relaxed);
+    }
 }
 
 /// Parallel for-each over `(index, &mut item)` pairs; in-place variant of
@@ -535,7 +667,7 @@ where
 mod tests {
     use super::*;
     use std::collections::HashSet;
-    use std::sync::atomic::AtomicU64;
+    use std::panic::AssertUnwindSafe;
 
     #[test]
     fn par_map_matches_sequential() {

@@ -51,6 +51,7 @@ pub mod exec;
 pub mod fault;
 pub mod metrics;
 pub mod primitives;
+pub(crate) mod sync;
 pub mod words;
 
 pub use cluster::{Dist, Emitter, MachineId, Runtime};

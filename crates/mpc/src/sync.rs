@@ -1,0 +1,20 @@
+//! Synchronization primitives, switched to [loom](https://docs.rs/loom)
+//! instrumented equivalents under `--cfg loom`.
+//!
+//! Only the executor's verified protocol core
+//! ([`crate::exec::protocol`]) builds on this module; everything else in
+//! the crate uses `std::sync` directly. In a normal build these are
+//! plain re-exports of the `std` types, so the hot path is exactly what
+//! it was before the abstraction existed; under
+//! `RUSTFLAGS="--cfg loom" cargo test -p treeemb-mpc --test loom_exec`
+//! every operation becomes a model-checker schedule point.
+
+#[cfg(loom)]
+pub(crate) use loom::sync::atomic::{AtomicUsize, Ordering};
+#[cfg(loom)]
+pub(crate) use loom::sync::{Condvar, Mutex};
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::atomic::{AtomicUsize, Ordering};
+#[cfg(not(loom))]
+pub(crate) use std::sync::{Condvar, Mutex};

@@ -1,0 +1,266 @@
+//! Loom model-checking suite for the executor's synchronization core.
+//!
+//! Run with:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p treeemb-mpc --test loom_exec
+//! ```
+//!
+//! Each test explores bounded-exhaustive thread interleavings of the
+//! *shipped* protocol types (`treeemb_mpc::exec::protocol`), which are
+//! compiled against the loom shim's scheduler-instrumented primitives
+//! under `--cfg loom` and against `std::sync` otherwise. Properties
+//! checked across every explored schedule:
+//!
+//! * the chunk cursor dispenses each item index **exactly once**, so
+//!   each output slot is written exactly once (determinism contract);
+//! * admission tickets cap participation without losing items;
+//! * the publish → serve → complete → drain handshake terminates —
+//!   no deadlock, no lost wakeup on either condvar;
+//! * workers never serve the same epoch twice, and stale epochs
+//!   observed after a drain are skipped;
+//! * `drain` returns only after every participating worker has left
+//!   the job (the raw-pointer descriptor in `exec` relies on this);
+//! * `close` wakes parked workers so joins complete.
+//!
+//! Models are deliberately tiny (≤3 model threads, a handful of items)
+//! to keep the schedule space tractable, as is standard loom practice.
+
+#![cfg(loom)]
+
+use loom::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use loom::sync::Arc;
+use loom::thread;
+
+use treeemb_mpc::exec::protocol::{JobCore, PoolCore};
+
+/// A job's shared scratch: the scheduling core plus one write-counter
+/// per item slot (standing in for `exec`'s `MaybeUninit` output slots).
+struct ModelJob {
+    core: JobCore,
+    slots: Vec<AtomicUsize>,
+}
+
+impl ModelJob {
+    fn new(n: usize, participants: usize) -> Self {
+        Self {
+            core: JobCore::new(n, participants),
+            slots: (0..n).map(|_| AtomicUsize::new(0)).collect(),
+        }
+    }
+
+    /// Participate in the job exactly as `exec::run_map` does: take a
+    /// ticket, then drive chunks, bumping each claimed slot.
+    fn participate(&self) {
+        if !self.core.take_ticket() {
+            return;
+        }
+        self.core.drive(|start, end| {
+            for i in start..end {
+                self.slots[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+    }
+
+    fn assert_each_slot_written_once(&self) {
+        for (i, s) in self.slots.iter().enumerate() {
+            assert_eq!(s.load(Ordering::Relaxed), 1, "slot {i} written != once");
+        }
+    }
+}
+
+/// Two participants race the chunk cursor over a shared job: every
+/// index must be claimed and written exactly once in every schedule.
+#[test]
+fn chunk_cursor_claims_each_index_exactly_once() {
+    loom::model(|| {
+        let job = Arc::new(ModelJob::new(3, 2));
+        let helper = {
+            let job = Arc::clone(&job);
+            thread::spawn(move || job.participate())
+        };
+        job.participate();
+        helper.join().unwrap();
+        job.assert_each_slot_written_once();
+    });
+}
+
+/// With a single admission ticket, the surplus participant must bow out
+/// without touching any slot — and no item may be lost because of it.
+#[test]
+fn surplus_participants_bow_out_without_losing_items() {
+    loom::model(|| {
+        let job = Arc::new(ModelJob::new(2, 1));
+        let helper = {
+            let job = Arc::clone(&job);
+            thread::spawn(move || job.participate())
+        };
+        job.participate();
+        helper.join().unwrap();
+        job.assert_each_slot_written_once();
+    });
+}
+
+/// Full round trip mirroring `Pool::run` + `worker_loop`: the caller
+/// publishes, participates, and drains while a pool worker serves.
+/// Checks exactly-once output placement, handshake termination, and —
+/// via the `in_job` flag — that `drain` never returns while a worker is
+/// still inside the job (the safety contract the raw-pointer job
+/// descriptors in `exec` depend on).
+#[test]
+fn publish_serve_drain_round_trip() {
+    loom::model(|| {
+        let pool = Arc::new(PoolCore::<usize>::new());
+        let job = Arc::new(ModelJob::new(2, 2));
+        let in_job = Arc::new(AtomicBool::new(false));
+
+        let worker = {
+            let pool = Arc::clone(&pool);
+            let job = Arc::clone(&job);
+            let in_job = Arc::clone(&in_job);
+            thread::spawn(move || {
+                let mut seen_epoch = 0u64;
+                while let Some((_tag, running)) = pool.serve(&mut seen_epoch) {
+                    assert!(running >= 1);
+                    in_job.store(true, Ordering::Relaxed);
+                    job.participate();
+                    in_job.store(false, Ordering::Relaxed);
+                    pool.complete();
+                }
+            })
+        };
+
+        pool.publish(1);
+        job.participate();
+        pool.drain();
+        // `drain` waited for running == 0, so no worker can still be
+        // between `serve` and `complete`.
+        assert!(
+            !in_job.load(Ordering::Relaxed),
+            "drain returned while a worker was inside the job"
+        );
+        job.assert_each_slot_written_once();
+
+        pool.close();
+        worker.join().unwrap();
+    });
+}
+
+/// Two jobs published back to back through the same pool: the worker's
+/// epoch bookkeeping must neither re-serve a retired job nor skip a
+/// fresh one, and both jobs must complete exactly once per item.
+#[test]
+fn epoch_dedup_across_sequential_jobs() {
+    loom::model(|| {
+        let pool = Arc::new(PoolCore::<usize>::new());
+        let job_a = Arc::new(ModelJob::new(1, 2));
+        let job_b = Arc::new(ModelJob::new(1, 2));
+
+        let worker = {
+            let pool = Arc::clone(&pool);
+            let job_a = Arc::clone(&job_a);
+            let job_b = Arc::clone(&job_b);
+            thread::spawn(move || {
+                let mut seen_epoch = 0u64;
+                while let Some((tag, _running)) = pool.serve(&mut seen_epoch) {
+                    match tag {
+                        1 => job_a.participate(),
+                        2 => job_b.participate(),
+                        other => panic!("served unknown job tag {other}"),
+                    }
+                    pool.complete();
+                }
+            })
+        };
+
+        pool.publish(1);
+        job_a.participate();
+        pool.drain();
+
+        pool.publish(2);
+        job_b.participate();
+        pool.drain();
+
+        pool.close();
+        worker.join().unwrap();
+
+        job_a.assert_each_slot_written_once();
+        job_b.assert_each_slot_written_once();
+    });
+}
+
+/// A second caller queues behind an in-flight publication on `idle_cv`;
+/// the retiring drain must wake it (a lost wakeup here would deadlock —
+/// and the checker would report the schedule).
+#[test]
+fn queued_publisher_is_woken_by_drain() {
+    loom::model(|| {
+        let pool = Arc::new(PoolCore::<usize>::new());
+        let job_a = Arc::new(ModelJob::new(1, 1));
+        let job_b = Arc::new(ModelJob::new(1, 1));
+
+        // Second caller: queues its publish behind job A's.
+        let caller2 = {
+            let pool = Arc::clone(&pool);
+            let job_b = Arc::clone(&job_b);
+            thread::spawn(move || {
+                pool.publish(2);
+                job_b.participate();
+                pool.drain();
+            })
+        };
+
+        pool.publish(1);
+        job_a.participate();
+        pool.drain();
+
+        caller2.join().unwrap();
+        job_a.assert_each_slot_written_once();
+        job_b.assert_each_slot_written_once();
+
+        // No worker ever served; both jobs were fully driven by their
+        // publishing callers (single admission ticket each).
+        pool.close();
+    });
+}
+
+/// `close` must wake a worker parked in `serve` waiting for work; a
+/// missed notification would hang the join forever.
+#[test]
+fn close_wakes_parked_worker() {
+    loom::model(|| {
+        let pool = Arc::new(PoolCore::<usize>::new());
+        let worker = {
+            let pool = Arc::clone(&pool);
+            thread::spawn(move || {
+                let mut seen_epoch = 0u64;
+                assert!(pool.serve(&mut seen_epoch).is_none());
+            })
+        };
+        pool.close();
+        worker.join().unwrap();
+    });
+}
+
+/// Worker-slot reservation hands out each slot index exactly once even
+/// when two callers race to grow the pool.
+#[test]
+fn worker_reservation_is_monotone_and_disjoint() {
+    loom::model(|| {
+        let pool = Arc::new(PoolCore::<usize>::new());
+        let other = {
+            let pool = Arc::clone(&pool);
+            thread::spawn(move || pool.reserve_workers(2))
+        };
+        let mine = pool.reserve_workers(1);
+        let theirs = other.join().unwrap();
+        // Ranges never overlap and the pool ends at the max target.
+        assert!(
+            mine.end <= theirs.start
+                || theirs.end <= mine.start
+                || mine.is_empty()
+                || theirs.is_empty()
+        );
+        assert_eq!(pool.spawned(), 2);
+    });
+}

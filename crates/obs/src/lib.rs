@@ -101,6 +101,9 @@ fn collector() -> &'static Collector {
 /// implicitly by every [`enabled`] check; cheap after the first call.
 pub fn init_from_env() {
     ENV_INIT.call_once(|| {
+        // lint:allow(env-read): TREEEMB_TRACE arms the tracer itself and
+        // is documented in from_env's module docs as living here; obs
+        // cannot depend on treeemb-mpc (dependency inversion).
         if let Ok(path) = std::env::var("TREEEMB_TRACE") {
             if !path.is_empty() {
                 let c = collector();
@@ -448,6 +451,8 @@ mod tests {
         let _g = test_lock();
         // No TREEEMB_TRACE in the test environment and no explicit path
         // configured: flush must not create any file.
+        // lint:allow(env-read): probing whether the ambient environment
+        // invalidates this test's premise, not configuring anything.
         if std::env::var("TREEEMB_TRACE").is_ok() {
             return; // environment overrides the premise; skip
         }

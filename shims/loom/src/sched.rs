@@ -1,0 +1,427 @@
+//! The cooperative scheduler behind [`crate::model`].
+//!
+//! One model execution runs every model thread on a real OS thread, but
+//! only one thread is ever runnable at a time: each instrumented
+//! operation (atomic access, mutex acquire, condvar wait/notify,
+//! spawn/join) is a *yield point* where the running thread hands control
+//! to the scheduler, which picks the next runnable thread. The sequence
+//! of picks is a *schedule*; [`explore`] enumerates schedules
+//! depth-first (with a preemption bound to keep the space tractable),
+//! replaying a recorded choice prefix deterministically and branching on
+//! the first undetermined decision.
+//!
+//! Every blocking primitive routes through [`Scheduler::block`], so a
+//! state where no thread is runnable but some are alive is detected
+//! immediately as a deadlock — which is exactly how lost wakeups
+//! surface: a notify that fires before the matching wait leaves the
+//! waiter blocked forever, and the checker reports the schedule that
+//! got there.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::sync::{Arc, Condvar as OsCondvar, Mutex as OsMutex};
+
+/// Sentinel panic payload used to unwind model threads when the
+/// execution aborts (deadlock, or a real panic on another thread).
+pub(crate) struct SchedAbort;
+
+/// Why a model thread cannot run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Blocked {
+    /// Waiting to acquire the mutex with this identity key.
+    Mutex(usize),
+    /// Waiting on the condvar with this identity key.
+    Condvar(usize),
+    /// Waiting for the thread with this id to finish.
+    Join(usize),
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum ThreadState {
+    Runnable,
+    Blocked(Blocked),
+    Finished,
+}
+
+/// How an execution ended ahead of normal completion.
+pub(crate) enum Abort {
+    /// No runnable thread, but not all threads finished.
+    Deadlock(Vec<(usize, ThreadState)>),
+    /// A model thread panicked with this payload.
+    Panic(Box<dyn Any + Send>),
+}
+
+pub(crate) struct SchedState {
+    pub(crate) threads: Vec<ThreadState>,
+    /// Thread id currently allowed to run.
+    pub(crate) current: usize,
+    /// Replay prefix: decision `d` picks option `prefix[d]`.
+    prefix: Vec<usize>,
+    /// Choices made this execution: `(picked index, option count)`.
+    pub(crate) decisions: Vec<(usize, usize)>,
+    depth: usize,
+    preemptions: usize,
+    /// Sticky abort flag (threads poll it to unwind); the payload is
+    /// taken once by the orchestrator.
+    aborted: bool,
+    abort: Option<Abort>,
+    /// True once every thread reached `Finished`.
+    complete: bool,
+}
+
+pub(crate) struct Scheduler {
+    pub(crate) state: OsMutex<SchedState>,
+    cv: OsCondvar,
+    max_preemptions: usize,
+}
+
+/// Hard cap on decisions per execution; beyond this the model is too
+/// deep to explore and the run aborts with a clear message.
+const MAX_DEPTH: usize = 1_000_000;
+
+thread_local! {
+    /// The execution this OS thread belongs to, and its model-thread id.
+    static CTX: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn set_ctx(sched: Arc<Scheduler>, tid: usize) {
+    CTX.with(|c| *c.borrow_mut() = Some((sched, tid)));
+}
+
+pub(crate) fn clear_ctx() {
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// The active execution context, or a panic naming the misuse.
+pub(crate) fn ctx() -> (Arc<Scheduler>, usize) {
+    CTX.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("loom primitives may only be used inside loom::model")
+    })
+}
+
+pub(crate) fn in_model() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+impl Scheduler {
+    pub(crate) fn new(prefix: Vec<usize>, max_preemptions: usize) -> Self {
+        Self {
+            state: OsMutex::new(SchedState {
+                threads: vec![ThreadState::Runnable],
+                current: 0,
+                prefix,
+                decisions: Vec::new(),
+                depth: 0,
+                preemptions: 0,
+                aborted: false,
+                abort: None,
+                complete: false,
+            }),
+            cv: OsCondvar::new(),
+            max_preemptions,
+        }
+    }
+
+    /// Registers a freshly spawned model thread; returns its id.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.state.lock().unwrap();
+        st.threads.push(ThreadState::Runnable);
+        st.threads.len() - 1
+    }
+
+    /// Picks the next thread to run. `me` is the yielding thread (used
+    /// for continue-first ordering and preemption accounting). Must be
+    /// called with the state lock held.
+    fn pick_next(&self, st: &mut SchedState, me: usize) {
+        if st.aborted || st.complete {
+            return;
+        }
+        let me_runnable = st.threads[me] == ThreadState::Runnable;
+        // Option order is deterministic: the yielding thread first (so
+        // choice 0 means "keep running"), then the rest by id.
+        let mut options: Vec<usize> = Vec::with_capacity(st.threads.len());
+        if me_runnable {
+            options.push(me);
+        }
+        for (tid, state) in st.threads.iter().enumerate() {
+            if tid != me && *state == ThreadState::Runnable {
+                options.push(tid);
+            }
+        }
+        if options.is_empty() {
+            if st.threads.iter().all(|t| *t == ThreadState::Finished) {
+                st.complete = true;
+            } else {
+                let blocked: Vec<(usize, ThreadState)> = st
+                    .threads
+                    .iter()
+                    .copied()
+                    .enumerate()
+                    .filter(|(_, t)| *t != ThreadState::Finished)
+                    .collect();
+                st.aborted = true;
+                st.abort = Some(Abort::Deadlock(blocked));
+            }
+            return;
+        }
+        // Preemption bounding: once the budget is spent, a runnable
+        // thread is never switched away from. The shrunken option count
+        // is recorded so exploration never branches on pruned choices.
+        let n = if me_runnable && st.preemptions >= self.max_preemptions {
+            1
+        } else {
+            options.len()
+        };
+        if st.depth >= MAX_DEPTH {
+            st.aborted = true;
+            st.abort = Some(Abort::Panic(Box::new(
+                "loom shim: model exceeded the per-execution decision cap",
+            )));
+            return;
+        }
+        let pick = if st.depth < st.prefix.len() {
+            st.prefix[st.depth].min(n - 1)
+        } else {
+            0
+        };
+        st.decisions.push((pick, n));
+        st.depth += 1;
+        if me_runnable && options[pick] != me {
+            st.preemptions += 1;
+        }
+        st.current = options[pick];
+    }
+
+    /// Parks until this thread is scheduled and runnable; panics with
+    /// [`SchedAbort`] when the execution aborted meanwhile.
+    fn park_until_scheduled(&self, me: usize) {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if st.aborted {
+                drop(st);
+                std::panic::panic_any(SchedAbort);
+            }
+            if st.current == me && st.threads[me] == ThreadState::Runnable {
+                return;
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Entry point for a just-started model thread: waits for its first
+    /// scheduling slot.
+    pub(crate) fn wait_first_schedule(&self, me: usize) {
+        self.park_until_scheduled(me);
+    }
+
+    /// A plain yield point: hand control to the scheduler, run again
+    /// when picked.
+    pub(crate) fn yield_point(&self, me: usize) {
+        {
+            let mut st = self.state.lock().unwrap();
+            if st.aborted {
+                drop(st);
+                std::panic::panic_any(SchedAbort);
+            }
+            self.pick_next(&mut st, me);
+        }
+        self.cv.notify_all();
+        self.park_until_scheduled(me);
+    }
+
+    /// Blocks this thread for `reason` and schedules someone else; runs
+    /// again once another thread made it runnable and the scheduler
+    /// picked it.
+    pub(crate) fn block(&self, me: usize, reason: Blocked) {
+        {
+            let mut st = self.state.lock().unwrap();
+            if st.aborted {
+                drop(st);
+                std::panic::panic_any(SchedAbort);
+            }
+            st.threads[me] = ThreadState::Blocked(reason);
+            self.pick_next(&mut st, me);
+        }
+        self.cv.notify_all();
+        self.park_until_scheduled(me);
+    }
+
+    /// Marks every thread blocked on `reason` runnable again (they still
+    /// wait their turn with the scheduler). Lock must not be held.
+    pub(crate) fn wake(&self, reason: Blocked) {
+        let mut st = self.state.lock().unwrap();
+        for t in st.threads.iter_mut() {
+            if *t == ThreadState::Blocked(reason) {
+                *t = ThreadState::Runnable;
+            }
+        }
+    }
+
+    /// Makes one specific thread runnable if it is blocked on `reason`;
+    /// returns whether it was.
+    pub(crate) fn wake_one(&self, tid: usize, reason: Blocked) -> bool {
+        let mut st = self.state.lock().unwrap();
+        if st.threads[tid] == ThreadState::Blocked(reason) {
+            st.threads[tid] = ThreadState::Runnable;
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn is_finished(&self, tid: usize) -> bool {
+        self.state.lock().unwrap().threads[tid] == ThreadState::Finished
+    }
+
+    /// Marks `me` finished, wakes joiners, and hands control onward
+    /// without waiting to be rescheduled (this thread is done).
+    pub(crate) fn finish(&self, me: usize) {
+        {
+            let mut st = self.state.lock().unwrap();
+            st.threads[me] = ThreadState::Finished;
+            for t in st.threads.iter_mut() {
+                if *t == ThreadState::Blocked(Blocked::Join(me)) {
+                    *t = ThreadState::Runnable;
+                }
+            }
+            self.pick_next(&mut st, me);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Records a real panic from a model thread (first one wins) and
+    /// unwinds every other thread.
+    pub(crate) fn record_panic(&self, me: usize, payload: Box<dyn Any + Send>) {
+        {
+            let mut st = self.state.lock().unwrap();
+            st.threads[me] = ThreadState::Finished;
+            if !st.aborted {
+                st.aborted = true;
+                st.abort = Some(Abort::Panic(payload));
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Blocks the orchestrator until the execution completed or aborted;
+    /// returns the abort payload, if any.
+    pub(crate) fn wait_outcome(&self) -> Option<Abort> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if st.aborted {
+                return st.abort.take();
+            }
+            if st.complete {
+                return None;
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+}
+
+/// One explored execution's outcome, fed back into the DFS.
+struct RunOutcome {
+    decisions: Vec<(usize, usize)>,
+    abort: Option<Abort>,
+}
+
+fn run_one(
+    f: Arc<dyn Fn() + Send + Sync>,
+    prefix: Vec<usize>,
+    max_preemptions: usize,
+) -> RunOutcome {
+    let sched = Arc::new(Scheduler::new(prefix, max_preemptions));
+    let root_sched = Arc::clone(&sched);
+    let root = std::thread::Builder::new()
+        .name("loom-model-0".into())
+        .spawn(move || {
+            set_ctx(Arc::clone(&root_sched), 0);
+            root_sched.wait_first_schedule(0);
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f()));
+            match result {
+                Ok(()) => root_sched.finish(0),
+                Err(payload) => {
+                    if payload.downcast_ref::<SchedAbort>().is_some() {
+                        root_sched.finish(0);
+                    } else {
+                        root_sched.record_panic(0, payload);
+                    }
+                }
+            }
+            clear_ctx();
+        })
+        .expect("spawn loom root thread");
+    let abort = sched.wait_outcome();
+    // Every model thread either finished or is unwinding on the sticky
+    // abort flag; reap the OS threads so nothing leaks across runs.
+    root.join().ok();
+    crate::thread::reap_os_handles();
+    let decisions = std::mem::take(&mut sched.state.lock().unwrap().decisions);
+    RunOutcome { decisions, abort }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// Depth-first exploration of schedules for `f`. Panics (with the
+/// decision trace) on the first deadlock or model-thread panic.
+pub(crate) fn explore(f: impl Fn() + Send + Sync + 'static) {
+    assert!(
+        !in_model(),
+        "loom::model may not be nested inside another model"
+    );
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let max_preemptions = env_usize("LOOM_MAX_PREEMPTIONS", 2);
+    let max_iterations = env_usize("LOOM_MAX_ITERATIONS", 20_000);
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        let outcome = run_one(Arc::clone(&f), prefix.clone(), max_preemptions);
+        if let Some(abort) = outcome.abort {
+            let trace: Vec<usize> = outcome.decisions.iter().map(|(c, _)| *c).collect();
+            match abort {
+                Abort::Deadlock(blocked) => panic!(
+                    "loom shim: deadlock after {iterations} execution(s); \
+                     blocked threads: {blocked:?}; schedule: {trace:?}"
+                ),
+                Abort::Panic(payload) => {
+                    eprintln!(
+                        "loom shim: model thread panicked after {iterations} \
+                         execution(s); schedule: {trace:?}"
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        // Backtrack: bump the deepest decision that still has an
+        // unexplored sibling, drop everything after it.
+        let mut next: Option<Vec<usize>> = None;
+        for (i, &(chosen, n)) in outcome.decisions.iter().enumerate().rev() {
+            if chosen + 1 < n {
+                let mut p: Vec<usize> = outcome.decisions[..i].iter().map(|(c, _)| *c).collect();
+                p.push(chosen + 1);
+                next = Some(p);
+                break;
+            }
+        }
+        match next {
+            None => return, // exhausted: every schedule within the bound explored
+            Some(p) => prefix = p,
+        }
+        if iterations >= max_iterations {
+            eprintln!(
+                "loom shim: stopping after {iterations} executions with \
+                 unexplored schedules remaining (raise LOOM_MAX_ITERATIONS \
+                 for full coverage)"
+            );
+            return;
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Scheduler-instrumented synchronization primitives mirroring the
+//! `loom::sync` API surface this workspace uses.
+//!
+//! Semantics note: the shim explores **sequentially consistent**
+//! interleavings — every atomic operation is a yield point and runs
+//! atomically with respect to other model threads, regardless of the
+//! `Ordering` argument. That is sound for finding SC-level races, lost
+//! wakeups, and deadlocks; relaxed-memory reorderings are out of scope
+//! (ThreadSanitizer and Miri cover the data-race-UB side in CI).
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::LockResult;
+
+use crate::sched::{ctx, Blocked};
+
+pub use std::sync::Arc;
+
+/// A model-checked mutex. Lock acquisition is a schedule point;
+/// contention blocks the thread with the scheduler so deadlocks are
+/// detected, not hung on.
+pub struct Mutex<T> {
+    /// Held flag; its address doubles as this mutex's identity key for
+    /// the scheduler's blocked-thread bookkeeping.
+    held: std::sync::Mutex<bool>,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: mirrors std::sync::Mutex — the scheduler guarantees mutual
+// exclusion before any &mut access to `data` is handed out.
+unsafe impl<T: Send> Send for Mutex<T> {}
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+/// RAII guard for [`Mutex`]; releases (and wakes waiters) on drop.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new model-checked mutex.
+    pub fn new(data: T) -> Self {
+        Self {
+            held: std::sync::Mutex::new(false),
+            data: UnsafeCell::new(data),
+        }
+    }
+
+    fn key(&self) -> usize {
+        &self.held as *const _ as usize
+    }
+
+    /// Acquires the mutex, yielding to the scheduler until available.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let (sched, me) = ctx();
+        loop {
+            sched.yield_point(me);
+            {
+                // Only one model thread runs between yield points, so
+                // this check-then-set is atomic under the model.
+                let mut held = self.held.lock().unwrap();
+                if !*held {
+                    *held = true;
+                    return Ok(MutexGuard { lock: self });
+                }
+            }
+            sched.block(me, Blocked::Mutex(self.key()));
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(self.data.into_inner())
+    }
+
+    fn unlock(&self) {
+        *self.held.lock().unwrap() = false;
+        let (sched, _) = ctx();
+        sched.wake(Blocked::Mutex(self.key()));
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard proves exclusive scheduler-granted access.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as above.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.unlock();
+    }
+}
+
+/// A model-checked condition variable with FIFO wakeup order. A notify
+/// that fires with no registered waiter is lost — exactly the semantics
+/// that let the checker surface lost-wakeup bugs as deadlocks.
+pub struct Condvar {
+    /// FIFO queue of waiting model-thread ids; its address is this
+    /// condvar's identity key.
+    waiters: std::sync::Mutex<Vec<usize>>,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Condvar {
+    /// Creates a new model-checked condvar.
+    pub fn new() -> Self {
+        Self {
+            waiters: std::sync::Mutex::new(Vec::new()),
+        }
+    }
+
+    fn key(&self) -> usize {
+        &self.waiters as *const _ as usize
+    }
+
+    /// Atomically releases the guard and waits for a notification, then
+    /// reacquires the mutex.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let (sched, me) = ctx();
+        let mutex = guard.lock;
+        // Register, then release, then park — no yield point in between,
+        // so the release+wait pair is atomic under the model and the
+        // shim itself cannot introduce lost wakeups.
+        self.waiters.lock().unwrap().push(me);
+        drop(guard);
+        sched.block(me, Blocked::Condvar(self.key()));
+        mutex.lock()
+    }
+
+    /// Wakes the longest-waiting thread, if any.
+    pub fn notify_one(&self) {
+        let (sched, me) = ctx();
+        sched.yield_point(me);
+        loop {
+            let next = {
+                let mut q = self.waiters.lock().unwrap();
+                if q.is_empty() {
+                    None
+                } else {
+                    Some(q.remove(0))
+                }
+            };
+            match next {
+                None => return,
+                // A stale entry (thread unwound while queued) wakes
+                // nothing; fall through to the next waiter.
+                Some(tid) => {
+                    if sched.wake_one(tid, Blocked::Condvar(self.key())) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Wakes every waiting thread.
+    pub fn notify_all(&self) {
+        let (sched, me) = ctx();
+        sched.yield_point(me);
+        self.waiters.lock().unwrap().clear();
+        sched.wake(Blocked::Condvar(self.key()));
+    }
+}
+
+/// Scheduler-instrumented atomics. Every operation is a yield point and
+/// executes atomically under the model (SeqCst regardless of the
+/// requested ordering — see the module docs).
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! model_atomic {
+        ($name:ident, $prim:ty, $std:ty) => {
+            /// Model-checked atomic; see the module docs for semantics.
+            pub struct $name {
+                v: $std,
+            }
+
+            impl $name {
+                /// Creates a new atomic with the given initial value.
+                pub fn new(v: $prim) -> Self {
+                    Self { v: <$std>::new(v) }
+                }
+
+                fn at(&self) -> (std::sync::Arc<$crate::sched::Scheduler>, usize) {
+                    $crate::sched::ctx()
+                }
+
+                /// Atomic load (a model yield point).
+                pub fn load(&self, _: Ordering) -> $prim {
+                    let (s, me) = self.at();
+                    s.yield_point(me);
+                    self.v.load(Ordering::SeqCst)
+                }
+
+                /// Atomic store (a model yield point).
+                pub fn store(&self, val: $prim, _: Ordering) {
+                    let (s, me) = self.at();
+                    s.yield_point(me);
+                    self.v.store(val, Ordering::SeqCst)
+                }
+
+                /// Atomic swap (a model yield point).
+                pub fn swap(&self, val: $prim, _: Ordering) -> $prim {
+                    let (s, me) = self.at();
+                    s.yield_point(me);
+                    self.v.swap(val, Ordering::SeqCst)
+                }
+
+                /// Atomic compare-exchange (a model yield point).
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    _: Ordering,
+                    _: Ordering,
+                ) -> Result<$prim, $prim> {
+                    let (s, me) = self.at();
+                    s.yield_point(me);
+                    self.v
+                        .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                }
+
+                /// Atomic read-modify-write via closure (a model yield
+                /// point; the closure runs exactly once).
+                pub fn fetch_update<F>(
+                    &self,
+                    _: Ordering,
+                    _: Ordering,
+                    mut f: F,
+                ) -> Result<$prim, $prim>
+                where
+                    F: FnMut($prim) -> Option<$prim>,
+                {
+                    let (s, me) = self.at();
+                    s.yield_point(me);
+                    let cur = self.v.load(Ordering::SeqCst);
+                    match f(cur) {
+                        Some(new) => {
+                            self.v.store(new, Ordering::SeqCst);
+                            Ok(cur)
+                        }
+                        None => Err(cur),
+                    }
+                }
+            }
+        };
+    }
+
+    macro_rules! model_atomic_arith {
+        ($name:ident, $prim:ty) => {
+            impl $name {
+                /// Atomic add, returning the previous value.
+                pub fn fetch_add(&self, val: $prim, _: Ordering) -> $prim {
+                    let (s, me) = self.at();
+                    s.yield_point(me);
+                    self.v.fetch_add(val, Ordering::SeqCst)
+                }
+
+                /// Atomic subtract, returning the previous value.
+                pub fn fetch_sub(&self, val: $prim, _: Ordering) -> $prim {
+                    let (s, me) = self.at();
+                    s.yield_point(me);
+                    self.v.fetch_sub(val, Ordering::SeqCst)
+                }
+
+                /// Atomic max, returning the previous value.
+                pub fn fetch_max(&self, val: $prim, _: Ordering) -> $prim {
+                    let (s, me) = self.at();
+                    s.yield_point(me);
+                    self.v.fetch_max(val, Ordering::SeqCst)
+                }
+            }
+        };
+    }
+
+    model_atomic!(AtomicUsize, usize, std::sync::atomic::AtomicUsize);
+    model_atomic!(AtomicU64, u64, std::sync::atomic::AtomicU64);
+    model_atomic!(AtomicU32, u32, std::sync::atomic::AtomicU32);
+    model_atomic!(AtomicBool, bool, std::sync::atomic::AtomicBool);
+    model_atomic_arith!(AtomicUsize, usize);
+    model_atomic_arith!(AtomicU64, u64);
+    model_atomic_arith!(AtomicU32, u32);
+
+    /// Memory fence: a plain yield point under the SC model.
+    pub fn fence(_: Ordering) {
+        let (s, me) = crate::sched::ctx();
+        s.yield_point(me);
+    }
+}

@@ -1,0 +1,95 @@
+//! Model-thread spawn/join mirroring `std::thread` / `loom::thread`.
+
+use std::any::Any;
+use std::sync::{Arc, Mutex as OsMutex};
+
+use crate::sched::{clear_ctx, ctx, set_ctx, Blocked, SchedAbort};
+
+/// OS handles of model threads spawned during the current execution;
+/// reaped by the explorer between executions. Executions never overlap,
+/// so one global registry suffices.
+static OS_HANDLES: OsMutex<Vec<std::thread::JoinHandle<()>>> = OsMutex::new(Vec::new());
+
+pub(crate) fn reap_os_handles() {
+    let handles: Vec<_> = std::mem::take(&mut *OS_HANDLES.lock().unwrap());
+    for h in handles {
+        h.join().ok();
+    }
+}
+
+type ResultSlot<T> = Arc<OsMutex<Option<Result<T, Box<dyn Any + Send>>>>>;
+
+/// Handle to a spawned model thread; `join` blocks (as a scheduler
+/// yield point) until it finishes.
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: ResultSlot<T>,
+}
+
+/// Spawns a model thread. The closure runs under the model scheduler:
+/// it starts only when scheduled and yields at every instrumented
+/// operation.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (sched, me) = ctx();
+    let tid = sched.register_thread();
+    let result: ResultSlot<T> = Arc::new(OsMutex::new(None));
+    let slot = Arc::clone(&result);
+    let child_sched = Arc::clone(&sched);
+    let os = std::thread::Builder::new()
+        .name(format!("loom-model-{tid}"))
+        .spawn(move || {
+            set_ctx(Arc::clone(&child_sched), tid);
+            child_sched.wait_first_schedule(tid);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+            match outcome {
+                Ok(v) => {
+                    *slot.lock().unwrap() = Some(Ok(v));
+                    child_sched.finish(tid);
+                }
+                Err(payload) => {
+                    if payload.downcast_ref::<SchedAbort>().is_some() {
+                        child_sched.finish(tid);
+                    } else {
+                        // A real panic fails the whole model; the
+                        // explorer reports it with the schedule trace.
+                        child_sched.record_panic(tid, payload);
+                    }
+                }
+            }
+            clear_ctx();
+        })
+        .expect("spawn loom model thread");
+    OS_HANDLES.lock().unwrap().push(os);
+    // Spawn is a synchronization point: the child is now schedulable.
+    sched.yield_point(me);
+    JoinHandle { tid, result }
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send>> {
+        let (sched, me) = ctx();
+        sched.yield_point(me);
+        // Between this check and `block` nothing else can run (only one
+        // model thread is ever runnable), so the check-then-block pair
+        // is atomic.
+        if !sched.is_finished(self.tid) {
+            sched.block(me, Blocked::Join(self.tid));
+        }
+        self.result
+            .lock()
+            .unwrap()
+            .take()
+            .unwrap_or(Err(Box::new("loom shim: joined thread was aborted")))
+    }
+}
+
+/// A plain scheduler yield point.
+pub fn yield_now() {
+    let (sched, me) = ctx();
+    sched.yield_point(me);
+}
